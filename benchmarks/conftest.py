@@ -1,0 +1,18 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one paper table/figure and prints the same
+rows/series the paper reports (shapes are asserted; absolute numbers are
+simulator-scale).  Use ``pytest benchmarks/ --benchmark-only -s`` to see
+the rendered tables.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer.
+
+    The experiments are deterministic end-to-end simulations (seconds of
+    wall clock), so a single round is both sufficient and honest.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

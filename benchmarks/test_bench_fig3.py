@@ -1,0 +1,15 @@
+"""Fig. 3 benchmark: zeros stored by 8x8 vs 128x128 crossbars per dataset.
+
+Paper shape: the large crossbars always store more zeros — up to ~7X.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig3_zeros import run_fig3
+
+
+def test_fig3_zero_storage(benchmark):
+    result = run_once(benchmark, run_fig3, seed=0)
+    print("\n" + result.table().render())
+    for name in ("ppi", "reddit", "amazon2m"):
+        ratio = result.ratio(name)
+        assert 1.0 < ratio < 20.0, f"{name}: ratio {ratio}"

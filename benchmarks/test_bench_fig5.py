@@ -1,0 +1,31 @@
+"""Fig. 5 benchmark: training/validation accuracy vs. batch size (Reddit).
+
+Paper shape: final accuracy is insensitive to beta; small beta (1, 5)
+shows unstable curves with sudden drops; large beta trains smoothly.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig5_accuracy import run_fig5
+
+
+def test_fig5_accuracy_vs_batch_size(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig5,
+        scale=0.015,
+        num_partitions=40,
+        betas=(1, 5, 10, 20),
+        num_epochs=25,
+        hidden_dim=48,
+        seed=0,
+    )
+    print("\n" + result.table().render())
+    for beta, history in sorted(result.histories.items()):
+        trace = " ".join(f"{a:.2f}" for a in history.val_accuracy)
+        print(f"beta={beta:>2} val acc: {trace}")
+    # Large batches converge to high accuracy...
+    assert result.final_accuracy(10) > 0.7
+    assert result.final_accuracy(20) > 0.7
+    # ...and small batches are no more stable than large ones (the paper's
+    # instability claim, asserted as an ordering rather than a threshold).
+    assert result.stability(1) >= result.stability(20)

@@ -1,0 +1,26 @@
+"""Fig. 6 benchmark: training time and E-PE demand vs. batch size (Reddit).
+
+Paper shape (normalized to beta = 1): training time falls steeply then
+flattens (knee near the capacity boundary); E-PE demand rises steadily.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig6_batch import run_fig6
+
+
+def test_fig6_batch_size_tradeoff(benchmark):
+    result = run_once(
+        benchmark, run_fig6, dataset="reddit", betas=(1, 5, 10, 20), seed=0
+    )
+    print("\n" + result.table().render())
+    times = result.normalized_training_time()
+    demand = result.normalized_epe_demand()
+    # Training time: beta=5/10 far below beta=1; past the knee the
+    # reduction stops (paper: "insignificant beyond beta = 10").
+    assert times[1] < 0.6
+    assert times[2] < 0.6
+    assert times[3] < 1.0
+    assert times[3] > 0.8 * min(times)  # flattened, not still falling
+    # E-PE demand strictly increases with beta.
+    assert demand == sorted(demand)
+    assert demand[-1] > 5.0

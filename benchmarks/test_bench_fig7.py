@@ -1,0 +1,21 @@
+"""Fig. 7 benchmark: computation vs. communication delay, unicast/multicast.
+
+Paper shape: communication always dominates computation; without multicast
+the communication delay is ~57% worse on average.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig7_noc import run_fig7
+
+
+def test_fig7_noc_delays(benchmark):
+    result = run_once(benchmark, run_fig7, seed=0)
+    print("\n" + result.table().render())
+    print(f"mean unicast penalty: {result.mean_unicast_penalty:.2f} "
+          f"(paper: 1.573, i.e. 57.3% worse)")
+    for name, point in result.points.items():
+        # Communication dominates computation for every dataset.
+        assert point.communication_multicast > point.computation, name
+        # Multicast strictly helps.
+        assert point.unicast_penalty > 1.0, name
+    assert 1.2 < result.mean_unicast_penalty < 2.2

@@ -1,0 +1,27 @@
+"""Fig. 8 benchmark: full-system speedup / energy / EDP vs. the V100 GPU.
+
+Paper shape: ReGraphX wins on every dataset — up to 3.5X faster (3X
+average), up to 11X more energy-efficient, 34X average EDP (up to 40X).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig8_fullsystem import run_fig8
+
+
+def test_fig8_full_system(benchmark):
+    result = run_once(benchmark, run_fig8, seed=0)
+    print("\n" + result.table().render())
+    print(
+        f"\naverage speedup {result.mean_speedup:.2f} (paper ~3.0), "
+        f"max {result.max_speedup:.2f} (paper 3.5)"
+        f"\naverage energy savings {result.mean_energy_ratio:.1f} (paper up to 11)"
+        f"\naverage EDP improvement {result.mean_edp_improvement:.1f} "
+        f"(paper ~34, up to 40)"
+    )
+    for name, cmp in result.comparisons.items():
+        assert cmp.speedup > 1.5, name
+        assert cmp.energy_ratio > 4.0, name
+        assert cmp.edp_improvement > 10.0, name
+    assert 2.0 < result.mean_speedup < 4.5
+    assert 6.0 < result.mean_energy_ratio < 15.0
+    assert 20.0 < result.mean_edp_improvement < 55.0

@@ -1,0 +1,20 @@
+"""Benchmarks for Table I (architecture echo) and Table II (dataset stats)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.tables import table1_parameters, table2_datasets
+
+
+def test_table1_parameters(benchmark):
+    table = run_once(benchmark, table1_parameters)
+    text = table.render()
+    print("\n" + text)
+    assert "128x128" in text and "8x8" in text
+
+
+def test_table2_datasets(benchmark):
+    """Regenerates Table II and verifies a synthetic instance hits the
+    scaled node/edge targets exactly."""
+    table = run_once(benchmark, table2_datasets, check_scale=0.005)
+    text = table.render()
+    print("\n" + text)
+    assert "2449029" in text  # Amazon2M node count, straight from Table II

@@ -1,0 +1,62 @@
+"""Functional ReRAM demo: run a GCN layer's math on simulated crossbars.
+
+Programs real (quantized, bit-sliced) ReRAM crossbar models with a GCN
+layer's weights, streams activations through them bit-serially, and checks
+the analog-pipeline result against the floating-point reference — showing
+the V-layer/E-layer decomposition of paper Fig. 1 executing on the actual
+crossbar primitives.
+
+Run:  python examples/crossbar_inference.py
+"""
+
+import numpy as np
+
+from repro.gnn.ops import relu
+from repro.graph import load_dataset
+from repro.reram import ReRAMTile, block_tile_adjacency, v_tile_spec
+from repro.utils.rng import rng_from_seed
+
+
+def main() -> None:
+    rng = rng_from_seed(3)
+    graph = load_dataset("ppi", scale=0.004, seed=3)
+    print(f"graph: {graph}")
+
+    in_dim, out_dim = graph.feature_dim, 96
+    weights = rng.normal(scale=0.2, size=(in_dim, out_dim))
+    features = graph.features[:24] * 0.1  # keep values inside the fixed-point range
+
+    # --- V-layer on a 128x128 ReRAM tile ------------------------------
+    tile = ReRAMTile(v_tile_spec())
+    placements = tile.program_layer(weights)
+    print(f"\nV-layer: {in_dim}x{out_dim} weights -> {len(placements)} "
+          f"crossbar block(s) on one tile")
+    analog = tile.matmul(features)
+    exact = features @ weights
+    err = np.abs(analog - exact).max()
+    print(f"  max |analog - float| = {err:.2e} "
+          f"(16-bit fixed point, 2-bit cells, 1-bit DACs)")
+
+    # --- E-layer structure on 8x8 blocks ------------------------------
+    mapping = block_tile_adjacency(graph, block_size=8)
+    big = block_tile_adjacency(graph, block_size=128)
+    print(f"\nE-layer: adjacency tiled into 8x8 blocks")
+    print(f"  nonzero blocks: {mapping.nnz_blocks}, "
+          f"density {mapping.density:.3f}, zeros stored {mapping.zeros_stored}")
+    print(f"  the same adjacency in 128x128 blocks stores "
+          f"{big.zeros_stored / mapping.zeros_stored:.1f}x more zeros (paper Fig. 3)")
+
+    # Functional E-layer: sparse aggregation of the V-layer output.
+    a_hat = graph.normalized_adjacency()[:24, :24]
+    z = relu(a_hat @ analog)
+    z_ref = relu(a_hat @ exact)
+    print(f"\nfull neural layer (V then E) max error vs float: "
+          f"{np.abs(z - z_ref).max():.2e}")
+
+    reads = sum(ima.total_reads for ima in tile.imas)
+    writes = sum(ima.total_writes for ima in tile.imas)
+    print(f"crossbar activity: {reads} MAC waves, {writes} cell writes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Robustness study: does GCN accuracy survive ReRAM device non-ideality?
+
+Trains a small GCN in float, then evaluates inference with the V-layer
+matrix products executed through *noisy* bit-sliced crossbars (lognormal
+conductance variation + stuck-at faults).  The punchline mirrors the
+analog-accelerator literature: classification tolerates a few percent of
+MAC error, so realistic device variation costs little accuracy.
+
+Run:  python examples/robustness.py
+"""
+
+import numpy as np
+
+from repro.gnn import GCN, ClusterGCNTrainer
+from repro.gnn.metrics import accuracy
+from repro.gnn.ops import relu
+from repro.graph import ClusterBatcher, load_dataset, partition_graph
+from repro.reram.variation import VariationModel, noisy_matvec
+
+
+def noisy_forward(model: GCN, a_hat, features, variation: VariationModel):
+    """Model forward pass with every V-layer multiply on noisy crossbars."""
+    h = np.asarray(features, dtype=np.float64)
+    for idx, layer in enumerate(model.layers):
+        v_out = np.stack(
+            [
+                noisy_matvec(
+                    layer.weight,
+                    row,
+                    VariationModel(
+                        sigma=variation.sigma,
+                        stuck_off_rate=variation.stuck_off_rate,
+                        stuck_on_rate=variation.stuck_on_rate,
+                        seed=variation.seed + 37 * idx,
+                    ),
+                )
+                for row in h
+            ]
+        )
+        pre = np.asarray(a_hat @ v_out)
+        h = relu(pre) if layer.activation == "relu" else pre
+    return h
+
+
+def main() -> None:
+    # A deliberately hard task (high feature noise, small model) so the
+    # accuracy cliff is visible once device error gets large.
+    graph = load_dataset("ppi", scale=0.01, seed=4, feature_noise=5.0)
+    partition = partition_graph(graph, 4, seed=4)
+    batcher = ClusterBatcher(graph, partition, 2, seed=4)
+    model = GCN(graph.feature_dim, 16, graph.num_classes, num_layers=2, seed=4)
+    trainer = ClusterGCNTrainer(model, graph, batcher, lr=0.02, seed=4)
+    trainer.fit(10)
+
+    # Evaluate on a manageable slice of the validation set.
+    nodes = np.flatnonzero(trainer.val_mask)[:64]
+    a_hat = graph.normalized_adjacency()[nodes][:, nodes]
+    features = graph.features[nodes] * 0.05  # scale into fixed-point range
+    labels = graph.labels[nodes]
+
+    ideal_logits = model.forward(a_hat, features)
+    ideal_acc = accuracy(np.argmax(ideal_logits, axis=1), labels)
+    print(f"float inference accuracy on slice: {ideal_acc:.3f}\n")
+    print(f"{'non-ideality':<28} {'accuracy':>9} {'delta':>8} {'logit err':>10}")
+    for label, variation in [
+        ("ideal crossbars (quantized)", VariationModel()),
+        ("sigma = 0.05", VariationModel(sigma=0.05, seed=1)),
+        ("sigma = 0.10", VariationModel(sigma=0.10, seed=1)),
+        ("sigma = 0.20", VariationModel(sigma=0.20, seed=1)),
+        ("sigma = 0.50", VariationModel(sigma=0.50, seed=1)),
+        ("1% stuck-off cells", VariationModel(stuck_off_rate=0.01, seed=1)),
+        ("10% stuck-off cells", VariationModel(stuck_off_rate=0.10, seed=1)),
+    ]:
+        logits = noisy_forward(model, a_hat, features, variation)
+        acc = accuracy(np.argmax(logits, axis=1), labels)
+        err = np.linalg.norm(logits - ideal_logits) / np.linalg.norm(ideal_logits)
+        print(f"{label:<28} {acc:>9.3f} {acc - ideal_acc:>+8.3f} {err:>10.3f}")
+    print(
+        "\nClassification absorbs small analog error; accuracy only moves "
+        "once the\nrelative logit error reaches tens of percent - the "
+        "standard analog-accelerator result."
+    )
+
+
+if __name__ == "__main__":
+    main()

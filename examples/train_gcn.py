@@ -1,0 +1,49 @@
+"""Train a 4-layer GCN with Cluster-GCN batching on a synthetic PPI graph.
+
+This exercises the *functional* substrate end to end: synthetic dataset
+generation, METIS-style multilevel partitioning, stochastic multi-cluster
+batching, and the numpy GCN with exact forward/backward passes — the same
+computation the ReGraphX hardware model schedules.
+
+Run:  python examples/train_gcn.py
+"""
+
+from repro.gnn import GCN, ClusterGCNTrainer
+from repro.graph import ClusterBatcher, get_dataset_spec, load_dataset, partition_graph
+
+
+def main() -> None:
+    spec = get_dataset_spec("ppi")
+    print("Generating a PPI-like graph (scale 0.05)...")
+    graph = load_dataset("ppi", scale=0.05, seed=7, feature_noise=4.0)
+    print(f"  {graph}")
+
+    num_parts = 12
+    print(f"Partitioning into {num_parts} clusters (multilevel, METIS-style)...")
+    partition = partition_graph(graph, num_parts, seed=7)
+    print(
+        f"  edge cut: {partition.edge_cut} / {graph.num_edges} edges "
+        f"({100 * partition.edge_cut / graph.num_edges:.1f}%), "
+        f"imbalance {partition.imbalance:.3f}"
+    )
+
+    beta = 3
+    batcher = ClusterBatcher(graph, partition, batch_size=beta, seed=7)
+    print(f"Batch size beta = {beta} -> {batcher.num_inputs} merged inputs per epoch")
+
+    model = GCN(
+        feature_dim=spec.feature_dim,
+        hidden_dim=64,
+        num_classes=spec.num_classes,
+        num_layers=spec.num_layers,
+        seed=7,
+    )
+    print(f"4-layer GCN with {model.num_parameters():,} parameters")
+
+    trainer = ClusterGCNTrainer(model, graph, batcher, lr=0.01, seed=7)
+    history = trainer.fit(num_epochs=12, verbose=True)
+    print(f"\nFinal validation accuracy: {history.final_val_accuracy:.3f}")
+
+
+if __name__ == "__main__":
+    main()

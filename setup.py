@@ -1,0 +1,6 @@
+"""Setuptools shim: enables legacy editable installs in offline environments
+(no `wheel` package available, so the PEP-517 editable path cannot build)."""
+
+from setuptools import setup
+
+setup()

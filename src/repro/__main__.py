@@ -1,0 +1,103 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+    info                       print the architecture (Table I) and dataset
+                               (Table II) summaries
+    experiments [names...]     regenerate paper tables/figures (default all)
+    evaluate DATASET           evaluate one dataset end to end vs the GPU
+    thermal                    tier-count thermal feasibility study
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import ReGraphX, ThermalModel, compare_with_gpu, tier_powers_from_report
+from repro.experiments.common import DEFAULT_SCALES
+from repro.experiments.runner import ALL_EXPERIMENTS
+from repro.experiments.runner import run as run_experiments
+from repro.experiments.tables import table1_parameters, table2_datasets
+from repro.graph.datasets import dataset_names
+from repro.utils.units import format_seconds
+
+
+def cmd_info(_: argparse.Namespace) -> None:
+    print(table1_parameters().render())
+    print()
+    print(table2_datasets().render())
+
+
+def cmd_experiments(args: argparse.Namespace) -> None:
+    names = args.names or None
+    for _, text in run_experiments(names, seed=args.seed).items():
+        print()
+        print(text)
+
+
+def cmd_evaluate(args: argparse.Namespace) -> None:
+    accelerator = ReGraphX()
+    scale = args.scale or DEFAULT_SCALES[args.dataset]
+    print(f"building {args.dataset} workload at scale {scale} ...")
+    workload = accelerator.build_workload(args.dataset, scale=scale, seed=args.seed)
+    report = accelerator.evaluate(workload, multicast=not args.unicast)
+    comparison = compare_with_gpu(report)
+    print(f"worst-stage computation:   {format_seconds(report.worst_compute)}")
+    print(f"worst-stage communication: {format_seconds(report.worst_communication)}")
+    print(f"epoch time:   {format_seconds(report.epoch_seconds)}")
+    print(f"epoch energy: {report.epoch_energy:.2f} J")
+    print(f"vs GPU: speedup {comparison.speedup:.2f}x, "
+          f"energy {comparison.energy_ratio:.2f}x, "
+          f"EDP {comparison.edp_improvement:.1f}x")
+
+
+def cmd_thermal(args: argparse.Namespace) -> None:
+    accelerator = ReGraphX()
+    workload = accelerator.build_workload("reddit", scale=0.02, seed=args.seed)
+    report = accelerator.evaluate(workload)
+    powers = tier_powers_from_report(report)
+    model = ThermalModel()
+    profile = model.steady_state(powers)
+    print("per-tier power (W):", [f"{p:.1f}" for p in powers])
+    print("per-tier temp (C): ", [f"{t:.1f}" for t in profile.tier_celsius])
+    print(f"peak {profile.peak_celsius:.1f} C on tier {profile.peak_tier} "
+          f"({'feasible' if profile.feasible else 'OVER LIMIT'})")
+    per_tier = sum(powers) / len(powers)
+    print(f"max feasible tiers at {per_tier:.1f} W/tier: "
+          f"{model.max_feasible_tiers(per_tier)}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ReGraphX reproduction toolkit"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="architecture + dataset summaries")
+
+    exp = sub.add_parser("experiments", help="regenerate paper tables/figures")
+    exp.add_argument("names", nargs="*", choices=list(ALL_EXPERIMENTS) + [[]])
+
+    ev = sub.add_parser("evaluate", help="full-system evaluation of one dataset")
+    ev.add_argument("dataset", choices=dataset_names())
+    ev.add_argument("--scale", type=float, default=None)
+    ev.add_argument("--unicast", action="store_true", help="disable multicast")
+
+    sub.add_parser("thermal", help="3D-stack thermal feasibility study")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> None:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "info": cmd_info,
+        "experiments": cmd_experiments,
+        "evaluate": cmd_evaluate,
+        "thermal": cmd_thermal,
+    }[args.command]
+    handler(args)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Baselines the paper compares against or argues around.
+
+* :mod:`repro.baselines.gpu` — the NVIDIA Tesla V100 running Cluster-GCN
+  (the paper's Fig. 8 comparison point), as a documented roofline +
+  overhead + energy model.
+* :mod:`repro.baselines.planar` — a 2D-mesh variant of ReGraphX (the
+  "traditional planar architectures are not suited" argument of Sec. IV.B).
+* :mod:`repro.baselines.homogeneous` — an all-128x128-crossbar variant
+  (the Fig. 3 heterogeneity argument).
+"""
+
+from repro.baselines.gpu import GPUModel, GPUSpec
+from repro.baselines.homogeneous import homogeneous_epe_demand
+from repro.baselines.planar import planar_mesh_for
+
+__all__ = [
+    "GPUModel",
+    "GPUSpec",
+    "planar_mesh_for",
+    "homogeneous_epe_demand",
+]

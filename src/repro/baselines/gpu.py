@@ -1,0 +1,145 @@
+"""Analytical model of Cluster-GCN training on an NVIDIA Tesla V100.
+
+The paper's Fig. 8 baseline is the Cluster-GCN TensorFlow implementation on
+a V100.  We model one training step on one merged sub-graph as three
+roofline terms and take the max-sum:
+
+* **Compute**: dense V-layer FLOPs at a dense efficiency (~35% for the
+  small matrices Cluster-GCN batches produce) plus sparse E-layer FLOPs at
+  SpMM efficiency (~2.5% of peak — published cuSPARSE SpMM numbers for
+  graph-shaped matrices are 200-500 GFLOP/s on V100).
+* **Memory**: activation/weight/adjacency traffic against HBM2 bandwidth.
+* **Overhead**: fixed per-step framework cost (kernel launches, host sync,
+  feed — TensorFlow-era Cluster-GCN dispatches dozens of kernels per step;
+  a few milliseconds per mini-batch step is what the published Cluster-GCN
+  wall-clock numbers imply for graphs of this size).
+
+Energy = step time x average board power (V100 runs near its 300 W TDP
+under training; sustained average ~250 W).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.units import GIGA, MICRO, TERA
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """NVIDIA Tesla V100 (SXM2) parameters with workload efficiencies."""
+
+    name: str = "tesla-v100"
+    peak_flops: float = 14 * TERA  # fp32
+    memory_bandwidth: float = 900 * GIGA  # bytes/s, HBM2
+    average_power: float = 250.0  # watts, sustained training draw
+    dense_efficiency: float = 0.35
+    spmm_efficiency: float = 0.05
+    memory_efficiency: float = 0.7
+    # Fixed per-mini-batch framework cost: TensorFlow-era Cluster-GCN
+    # dispatches ~60-100 kernels per step (gather/scatter, SpMM, dense,
+    # optimizer) plus feed/host sync; published Cluster-GCN wall-clock
+    # numbers imply ~5-15 ms per step for graphs of this size.
+    step_overhead: float = 4200 * MICRO
+    bytes_per_value: int = 4  # fp32
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0 or self.memory_bandwidth <= 0:
+            raise ValueError("peak rates must be positive")
+        for name in ("dense_efficiency", "spmm_efficiency", "memory_efficiency"):
+            if not 0 < getattr(self, name) <= 1:
+                raise ValueError(f"{name} must be in (0, 1]")
+        if self.average_power <= 0:
+            raise ValueError("power must be positive")
+        if self.step_overhead < 0:
+            raise ValueError("overhead must be non-negative")
+
+
+@dataclass(frozen=True)
+class GPUStepCost:
+    """Breakdown of one training step (one merged sub-graph, fwd+bwd)."""
+
+    compute_seconds: float
+    memory_seconds: float
+    overhead_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Compute and memory overlap (max); overhead serializes."""
+        return max(self.compute_seconds, self.memory_seconds) + self.overhead_seconds
+
+
+class GPUModel:
+    """Cost model for Cluster-GCN GCN training steps on a GPU."""
+
+    # Training = forward + backward; backward does ~2x the forward math
+    # (gradient w.r.t. activations and weights).
+    TRAINING_FLOP_FACTOR = 3.0
+    # Activations are read/written several times across fwd/bwd + optimizer.
+    TRAINING_BYTES_FACTOR = 4.0
+
+    def __init__(self, spec: GPUSpec | None = None) -> None:
+        self.spec = spec or GPUSpec()
+
+    def step_cost(
+        self,
+        num_nodes: int,
+        nnz_entries: int,
+        layer_dims: list[tuple[int, int]],
+    ) -> GPUStepCost:
+        """Cost of one training step on a sub-graph.
+
+        Args:
+            num_nodes: nodes in the merged sub-graph.
+            nnz_entries: stored adjacency entries of the sub-graph.
+            layer_dims: (in_dim, out_dim) per neural layer.
+        """
+        if num_nodes < 1:
+            raise ValueError("sub-graph must have at least one node")
+        if nnz_entries < 0:
+            raise ValueError("nnz_entries must be non-negative")
+        if not layer_dims:
+            raise ValueError("need at least one layer")
+        s = self.spec
+        dense_flops = 0.0
+        sparse_flops = 0.0
+        moved_values = 0.0
+        for in_dim, out_dim in layer_dims:
+            dense_flops += 2.0 * num_nodes * in_dim * out_dim
+            sparse_flops += 2.0 * nnz_entries * out_dim
+            moved_values += num_nodes * (in_dim + out_dim) + in_dim * out_dim
+        moved_values += 2.0 * nnz_entries  # adjacency indices + values
+        compute = self.TRAINING_FLOP_FACTOR * (
+            dense_flops / (s.peak_flops * s.dense_efficiency)
+            + sparse_flops / (s.peak_flops * s.spmm_efficiency)
+        )
+        memory = (
+            self.TRAINING_BYTES_FACTOR
+            * moved_values
+            * s.bytes_per_value
+            / (s.memory_bandwidth * s.memory_efficiency)
+        )
+        return GPUStepCost(
+            compute_seconds=compute,
+            memory_seconds=memory,
+            overhead_seconds=s.step_overhead,
+        )
+
+    def epoch_time(
+        self,
+        num_inputs: int,
+        num_nodes_per_input: int,
+        nnz_per_input: int,
+        layer_dims: list[tuple[int, int]],
+    ) -> float:
+        """Seconds per training epoch (``num_inputs`` sequential steps)."""
+        if num_inputs < 1:
+            raise ValueError("need at least one input per epoch")
+        step = self.step_cost(num_nodes_per_input, nnz_per_input, layer_dims)
+        return num_inputs * step.total_seconds
+
+    def epoch_energy(self, epoch_seconds: float) -> float:
+        """Joules per epoch: the board draws average power throughout."""
+        if epoch_seconds < 0:
+            raise ValueError("epoch time must be non-negative")
+        return epoch_seconds * self.spec.average_power

@@ -1,0 +1,41 @@
+"""Homogeneous (all-128x128 crossbar) baseline for the Fig. 3 argument.
+
+An ISAAC-like accelerator would store the adjacency matrix in the same
+128x128 crossbars it uses for weights.  This module quantifies the cost:
+zeros stored and E-PE (tile) demand when large crossbars hold the sparse
+adjacency, versus the heterogeneous 8x8 mapping ReGraphX uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.graph import CSRGraph
+from repro.reram.sparse_mapping import BlockMapping, block_tile_adjacency
+from repro.reram.tile import TileSpec, v_tile_spec
+
+
+@dataclass(frozen=True)
+class HomogeneousDemand:
+    """Storage cost of mapping an adjacency matrix onto large crossbars."""
+
+    mapping: BlockMapping
+    tiles_needed: int
+
+    @property
+    def zeros_stored(self) -> int:
+        return self.mapping.zeros_stored
+
+
+def homogeneous_epe_demand(
+    graph: CSRGraph, tile: TileSpec | None = None
+) -> HomogeneousDemand:
+    """Tiles needed to store ``graph``'s adjacency in 128x128 crossbars.
+
+    In the homogeneous design every adjacency block occupies one logical
+    (bit-sliced) IMA block, exactly like a dense weight block.
+    """
+    tile = tile or v_tile_spec()
+    mapping = block_tile_adjacency(graph, tile.crossbar_size)
+    tiles = -(-mapping.nnz_blocks // tile.weight_blocks_per_tile)
+    return HomogeneousDemand(mapping=mapping, tiles_needed=tiles)

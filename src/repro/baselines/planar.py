@@ -1,0 +1,38 @@
+"""Planar (2D) NoC baseline.
+
+Paper Sec. IV.B argues traditional planar architectures suffer from long
+physical separation between tiles.  This baseline keeps the tile counts of
+ReGraphX but flattens all three tiers into one plane: the same 192 routers
+arranged as a single 16x12 mesh.  Routing, scheduling, and traffic
+extraction are unchanged — only the topology (and therefore hop distances
+and multicast tree sizes) differs, isolating the 3D-integration benefit.
+"""
+
+from __future__ import annotations
+
+from repro.noc.topology import Mesh3D
+
+
+def planar_mesh_for(topo: Mesh3D) -> Mesh3D:
+    """Flatten a 3D mesh into a single-tier mesh with equal router count.
+
+    Tiers are laid side by side along X, which preserves each tier's
+    internal geometry while forcing former vertical one-hop neighbors to
+    cross the plane — the long-range traffic the paper attributes to 2D.
+    """
+    if topo.tiers == 1:
+        return topo
+    return Mesh3D(width=topo.width * topo.tiers, height=topo.height, tiers=1)
+
+
+def planar_router_map(topo: Mesh3D) -> dict[int, int]:
+    """Map each 3D router id to its position in :func:`planar_mesh_for`.
+
+    Tier ``z`` occupies the X slab ``[z * width, (z + 1) * width)``.
+    """
+    flat = planar_mesh_for(topo)
+    mapping: dict[int, int] = {}
+    for router in range(topo.num_routers):
+        x, y, z = topo.coords(router)
+        mapping[router] = flat.router_id(z * topo.width + x, y, 0)
+    return mapping

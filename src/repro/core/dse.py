@@ -1,0 +1,146 @@
+"""Design-space exploration: mesh geometry, tier count, and Pareto fronts.
+
+The paper fixes one design point (8x8x3); this module sweeps the
+architectural knobs around it — tier count (with the thermal model keeping
+score), mesh footprint, NoC clock — and extracts the Pareto-efficient
+designs on (epoch time, epoch energy, peak temperature).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.accelerator import ReGraphX, Workload
+from repro.core.config import ReGraphXConfig
+from repro.core.thermal import ThermalModel, ThermalSpec, tier_powers_from_report
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated configuration."""
+
+    label: str
+    config: ReGraphXConfig
+    epoch_seconds: float
+    epoch_energy_joules: float
+    peak_celsius: float
+    thermally_feasible: bool
+
+    @property
+    def edp(self) -> float:
+        return self.epoch_seconds * self.epoch_energy_joules
+
+
+def evaluate_design(
+    config: ReGraphXConfig,
+    workload_dataset: str,
+    scale: float,
+    label: str,
+    seed: int = 0,
+    thermal: ThermalSpec | None = None,
+) -> DesignPoint:
+    """Evaluate one configuration end to end (timing, energy, thermals)."""
+    accelerator = ReGraphX(config)
+    workload = accelerator.build_workload(workload_dataset, scale=scale, seed=seed)
+    report = accelerator.evaluate(workload, multicast=True, use_sa=False)
+    model = ThermalModel(thermal)
+    profile = model.steady_state(tier_powers_from_report(report))
+    return DesignPoint(
+        label=label,
+        config=config,
+        epoch_seconds=report.epoch_seconds,
+        epoch_energy_joules=report.epoch_energy,
+        peak_celsius=profile.peak_celsius,
+        thermally_feasible=profile.feasible,
+    )
+
+
+def sweep_tiers(
+    tier_counts: list[int],
+    workload_dataset: str = "reddit",
+    scale: float = 0.02,
+    base: ReGraphXConfig | None = None,
+    seed: int = 0,
+) -> list[DesignPoint]:
+    """Sweep the number of stacked tiers (paper future work, quantified).
+
+    Each configuration keeps one V tier in the middle of the stack; extra
+    tiers add E-PE capacity (fewer E rounds) but raise the stack's peak
+    temperature.  The total chip static power scales with the tile count.
+    """
+    if not tier_counts:
+        raise ValueError("need at least one tier count")
+    if any(t < 2 for t in tier_counts):
+        raise ValueError("a ReGraphX stack needs at least 2 tiers")
+    base = base or ReGraphXConfig()
+    base_tiles = base.num_v_tiles + base.num_e_tiles
+    points = []
+    for tiers in tier_counts:
+        config = replace(base, tiers=tiers, v_tier=tiers // 2)
+        # Static power scales with the physical tile count.
+        tiles = config.num_v_tiles + config.num_e_tiles
+        energy = replace(
+            base.energy,
+            static_power_watts=base.energy.static_power_watts * tiles / base_tiles,
+        )
+        config = replace(config, energy=energy)
+        points.append(
+            evaluate_design(
+                config, workload_dataset, scale, label=f"{tiers}-tier", seed=seed
+            )
+        )
+    return points
+
+
+def sweep_mesh(
+    widths: list[int],
+    workload_dataset: str = "reddit",
+    scale: float = 0.02,
+    base: ReGraphXConfig | None = None,
+    seed: int = 0,
+) -> list[DesignPoint]:
+    """Sweep the planar mesh footprint at fixed tier count."""
+    if not widths:
+        raise ValueError("need at least one width")
+    base = base or ReGraphXConfig()
+    base_tiles = base.num_v_tiles + base.num_e_tiles
+    points = []
+    for width in widths:
+        config = replace(base, mesh_width=width, mesh_height=width)
+        tiles = config.num_v_tiles + config.num_e_tiles
+        energy = replace(
+            base.energy,
+            static_power_watts=base.energy.static_power_watts * tiles / base_tiles,
+        )
+        config = replace(config, energy=energy)
+        points.append(
+            evaluate_design(
+                config, workload_dataset, scale, label=f"{width}x{width}", seed=seed
+            )
+        )
+    return points
+
+
+def pareto_front(points: list[DesignPoint]) -> list[DesignPoint]:
+    """Pareto-efficient subset on (epoch time, energy, peak temperature).
+
+    A point is dominated if another point is no worse on all three axes
+    and strictly better on at least one.
+    """
+
+    def dominates(a: DesignPoint, b: DesignPoint) -> bool:
+        no_worse = (
+            a.epoch_seconds <= b.epoch_seconds
+            and a.epoch_energy_joules <= b.epoch_energy_joules
+            and a.peak_celsius <= b.peak_celsius
+        )
+        strictly = (
+            a.epoch_seconds < b.epoch_seconds
+            or a.epoch_energy_joules < b.epoch_energy_joules
+            or a.peak_celsius < b.peak_celsius
+        )
+        return no_worse and strictly
+
+    return [
+        p for p in points if not any(dominates(q, p) for q in points if q is not p)
+    ]

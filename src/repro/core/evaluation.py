@@ -1,0 +1,70 @@
+"""Full-system comparison: ReGraphX vs. the GPU baseline (paper Fig. 8)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.gpu import GPUModel
+from repro.core.accelerator import ReGraphXReport
+
+
+@dataclass(frozen=True)
+class FullSystemComparison:
+    """Fig. 8's three panels for one dataset."""
+
+    dataset: str
+    regraphx_epoch_seconds: float
+    gpu_epoch_seconds: float
+    regraphx_epoch_energy: float
+    gpu_epoch_energy: float
+
+    def __post_init__(self) -> None:
+        for name in (
+            "regraphx_epoch_seconds",
+            "gpu_epoch_seconds",
+            "regraphx_epoch_energy",
+            "gpu_epoch_energy",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    @property
+    def speedup(self) -> float:
+        """Fig. 8(a): GPU time / ReGraphX time."""
+        return self.gpu_epoch_seconds / self.regraphx_epoch_seconds
+
+    @property
+    def energy_ratio(self) -> float:
+        """Fig. 8(b): GPU energy / ReGraphX energy."""
+        return self.gpu_epoch_energy / self.regraphx_epoch_energy
+
+    @property
+    def edp_improvement(self) -> float:
+        """Fig. 8(c): GPU EDP / ReGraphX EDP = speedup x energy ratio."""
+        return self.speedup * self.energy_ratio
+
+
+def compare_with_gpu(
+    report: ReGraphXReport, gpu: GPUModel | None = None
+) -> FullSystemComparison:
+    """Evaluate the GPU baseline on the same workload and compare.
+
+    Both sides process identical merged sub-graphs: the GPU runs them
+    sequentially (Cluster-GCN steps), ReGraphX streams them through its
+    pipeline.
+    """
+    gpu = gpu or GPUModel()
+    wl = report.workload
+    gpu_epoch = gpu.epoch_time(
+        num_inputs=report.pipeline.num_inputs,
+        num_nodes_per_input=wl.num_nodes_per_input,
+        nnz_per_input=wl.nnz_per_input,
+        layer_dims=wl.layer_dims,
+    )
+    return FullSystemComparison(
+        dataset=wl.spec.name,
+        regraphx_epoch_seconds=report.epoch_seconds,
+        gpu_epoch_seconds=gpu_epoch,
+        regraphx_epoch_energy=report.epoch_energy,
+        gpu_epoch_energy=gpu.epoch_energy(gpu_epoch),
+    )

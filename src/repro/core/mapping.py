@@ -1,0 +1,221 @@
+"""Layer-to-router mapping with simulated annealing (paper Sec. IV.D).
+
+Each of the 4L pipeline stages (V1..VL, E1..EL and their backward twins)
+gets a disjoint set of routers: V stages draw from the V tier, E stages
+from the two E tiers.  The SA optimizer (following GRAMARCH [12]) swaps
+routers between stages to pull heavily-communicating stage pairs close,
+minimizing a volume-weighted distance cost — the proxy for long-range and
+multicast traffic the paper optimizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import ReGraphXConfig
+from repro.utils.rng import rng_from_seed
+
+
+def stage_names(num_layers: int, training: bool = True) -> list[str]:
+    """Pipeline stage names in dataflow order (Fig. 4, generalized).
+
+    Training: V1 E1 ... VL EL followed by the backward mirror BEL BVL ...
+    BE1 BV1 (4L stages).  Inference: forward stages only (2L stages).
+    """
+    if num_layers < 1:
+        raise ValueError("need at least one layer")
+    forward = []
+    for i in range(1, num_layers + 1):
+        forward += [f"V{i}", f"E{i}"]
+    if not training:
+        return forward
+    backward = []
+    for i in range(num_layers, 0, -1):
+        backward += [f"BE{i}", f"BV{i}"]
+    return forward + backward
+
+
+def communication_legs(num_layers: int, training: bool = True) -> list[tuple[str, str]]:
+    """Directed stage pairs that exchange activation/gradient rows.
+
+    Forward: Vi->Ei and Ei->Vi+1; when training, also the multicast legs
+    Ei->BVi+1 (saved input activations) and Ei->BEi (saved ReLU masks),
+    the loss turnaround EL->BEL, and the backward chain BEi->BVi and
+    BVi->BEi-1.
+    """
+    legs: list[tuple[str, str]] = []
+    for i in range(1, num_layers + 1):
+        legs.append((f"V{i}", f"E{i}"))
+        if i < num_layers:
+            legs.append((f"E{i}", f"V{i + 1}"))
+        if not training:
+            continue
+        if i < num_layers:
+            legs.append((f"E{i}", f"BV{i + 1}"))
+        legs.append((f"E{i}", f"BE{i}"))
+        legs.append((f"BE{i}", f"BV{i}"))
+        if i > 1:
+            legs.append((f"BV{i}", f"BE{i - 1}"))
+    return legs
+
+
+@dataclass(frozen=True)
+class StageMap:
+    """Assignment of router sets to pipeline stages."""
+
+    assignment: dict[str, tuple[int, ...]]
+
+    def __post_init__(self) -> None:
+        seen: set[int] = set()
+        for stage, routers in self.assignment.items():
+            if not routers:
+                raise ValueError(f"stage {stage} has no routers")
+            overlap = seen & set(routers)
+            if overlap:
+                raise ValueError(f"routers {overlap} assigned to multiple stages")
+            seen.update(routers)
+
+    def routers(self, stage: str) -> tuple[int, ...]:
+        if stage not in self.assignment:
+            raise KeyError(f"unknown stage {stage!r}")
+        return self.assignment[stage]
+
+    @property
+    def stages(self) -> list[str]:
+        return list(self.assignment)
+
+
+def contiguous_mapping(config: ReGraphXConfig, training: bool = True) -> StageMap:
+    """Baseline mapping: deal routers to stages in id order.
+
+    V stages slice the V tier contiguously; E stages slice the
+    concatenated E tiers contiguously.  Simple, deterministic, and the
+    starting point for annealing.  Inference pipelines have half the
+    stages, so each stage receives twice the routers.
+    """
+    names = stage_names(config.num_layers, training)
+    v_stages = [s for s in names if s.lstrip("B").startswith("V")]
+    e_stages = [s for s in names if s.lstrip("B").startswith("E")]
+    v_pool = config.v_routers()
+    e_pool = config.e_routers()
+    per_v = len(v_pool) // len(v_stages)
+    per_e = len(e_pool) // len(e_stages)
+    assignment: dict[str, tuple[int, ...]] = {}
+    for idx, stage in enumerate(v_stages):
+        assignment[stage] = tuple(v_pool[idx * per_v:(idx + 1) * per_v])
+    for idx, stage in enumerate(e_stages):
+        assignment[stage] = tuple(e_pool[idx * per_e:(idx + 1) * per_e])
+    return StageMap(assignment)
+
+
+def random_mapping(
+    config: ReGraphXConfig, seed: int | np.random.Generator | None = 0
+) -> StageMap:
+    """Random router-to-stage assignment (the SA ablation baseline).
+
+    Respects tier constraints (V stages on the V tier, E stages on the E
+    tiers) but scatters each stage's routers arbitrarily — the kind of
+    placement an application-agnostic allocator would produce.
+    """
+    rng = rng_from_seed(seed)
+    names = stage_names(config.num_layers)
+    v_stages = [s for s in names if s.lstrip("B").startswith("V")]
+    e_stages = [s for s in names if s.lstrip("B").startswith("E")]
+    v_pool = list(rng.permutation(config.v_routers()))
+    e_pool = list(rng.permutation(config.e_routers()))
+    per_v = config.v_routers_per_stage
+    per_e = config.e_routers_per_stage
+    assignment: dict[str, tuple[int, ...]] = {}
+    for idx, stage in enumerate(v_stages):
+        assignment[stage] = tuple(int(r) for r in v_pool[idx * per_v:(idx + 1) * per_v])
+    for idx, stage in enumerate(e_stages):
+        assignment[stage] = tuple(int(r) for r in e_pool[idx * per_e:(idx + 1) * per_e])
+    return StageMap(assignment)
+
+
+def _mapping_cost(
+    assignment: dict[str, tuple[int, ...]],
+    legs: list[tuple[str, str]],
+    leg_volumes: dict[tuple[str, str], float],
+    coords: np.ndarray,
+) -> float:
+    """Volume-weighted mean Manhattan distance between stage groups."""
+    cost = 0.0
+    for leg in legs:
+        src, dst = leg
+        a = np.asarray(assignment[src])
+        b = np.asarray(assignment[dst])
+        dist = np.abs(coords[a][:, None, :] - coords[b][None, :, :]).sum(axis=2)
+        cost += leg_volumes.get(leg, 1.0) * float(dist.mean())
+    return cost
+
+
+def anneal_mapping(
+    config: ReGraphXConfig,
+    leg_volumes: dict[tuple[str, str], float] | None = None,
+    iterations: int = 2000,
+    initial_temperature: float = 2.0,
+    seed: int | np.random.Generator | None = 0,
+) -> StageMap:
+    """Simulated-annealing refinement of :func:`contiguous_mapping`.
+
+    Args:
+        config: the architecture instance.
+        leg_volumes: relative communication volume per stage pair (defaults
+            to 1.0 per leg); typically filled from the workload's per-layer
+            output sizes.
+        iterations: SA steps (each proposes one router swap).
+        initial_temperature: SA temperature, decayed geometrically to ~1%.
+        seed: RNG seed for proposal and acceptance draws.
+
+    Returns:
+        The best :class:`StageMap` found.
+    """
+    if iterations < 0:
+        raise ValueError("iterations must be non-negative")
+    rng = rng_from_seed(seed)
+    legs = communication_legs(config.num_layers)
+    volumes = leg_volumes or {}
+    topo = config.topology
+    coords = np.asarray([topo.coords(r) for r in range(topo.num_routers)], dtype=float)
+
+    current = {s: list(r) for s, r in contiguous_mapping(config).assignment.items()}
+    v_stages = [s for s in current if s.lstrip("B").startswith("V")]
+    e_stages = [s for s in current if s.lstrip("B").startswith("E")]
+
+    def snapshot() -> dict[str, tuple[int, ...]]:
+        return {s: tuple(r) for s, r in current.items()}
+
+    cost = _mapping_cost(snapshot(), legs, volumes, coords)
+    best, best_cost = snapshot(), cost
+    if iterations == 0:
+        return StageMap(best)
+    alpha = 0.01 ** (1.0 / iterations)  # decay to 1% of T0
+    temperature = initial_temperature * cost / max(len(legs), 1)
+    for _ in range(iterations):
+        pool = v_stages if rng.random() < 0.5 else e_stages
+        s1, s2 = rng.choice(len(pool), size=2, replace=False)
+        stage_a, stage_b = pool[s1], pool[s2]
+        ia = int(rng.integers(len(current[stage_a])))
+        ib = int(rng.integers(len(current[stage_b])))
+        current[stage_a][ia], current[stage_b][ib] = (
+            current[stage_b][ib],
+            current[stage_a][ia],
+        )
+        new_cost = _mapping_cost(snapshot(), legs, volumes, coords)
+        accept = new_cost <= cost or rng.random() < np.exp(
+            (cost - new_cost) / max(temperature, 1e-12)
+        )
+        if accept:
+            cost = new_cost
+            if cost < best_cost:
+                best, best_cost = snapshot(), cost
+        else:  # undo
+            current[stage_a][ia], current[stage_b][ib] = (
+                current[stage_b][ib],
+                current[stage_a][ia],
+            )
+        temperature *= alpha
+    return StageMap(best)

@@ -1,0 +1,119 @@
+"""Pipelined GNN training schedule (paper Fig. 4).
+
+A GNN with L neural layers trains as a ``4L``-stage pipeline (V and E
+sublayers, forward and backward).  One merged input sub-graph occupies one
+stage per period; after the fill phase every PE group is busy every period.
+The period ``T`` is set by the slowest stage — the larger of its compute
+latency and the time its outgoing communication needs on the NoC — which is
+exactly the quantity paper Fig. 7 compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.mapping import stage_names
+
+
+@dataclass(frozen=True)
+class StageCost:
+    """Per-stage latency components for one pipeline period."""
+
+    name: str
+    compute_seconds: float
+    communication_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.compute_seconds < 0 or self.communication_seconds < 0:
+            raise ValueError(f"stage {self.name}: latencies must be non-negative")
+
+    @property
+    def period_bound(self) -> float:
+        """The stage's lower bound on the pipeline period."""
+        return max(self.compute_seconds, self.communication_seconds)
+
+
+@dataclass(frozen=True)
+class PipelineTiming:
+    """Resolved pipeline timing for a workload."""
+
+    stages: tuple[StageCost, ...]
+    num_inputs: int
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError("pipeline needs at least one stage")
+        if self.num_inputs < 1:
+            raise ValueError("pipeline needs at least one input")
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    @property
+    def period(self) -> float:
+        """Pipeline period T = max over stages of max(comp, comm)."""
+        return max(s.period_bound for s in self.stages)
+
+    @property
+    def bottleneck(self) -> StageCost:
+        """The stage that sets the period."""
+        return max(self.stages, key=lambda s: s.period_bound)
+
+    @property
+    def worst_compute(self) -> float:
+        """Worst-case computation delay across stages (Fig. 7 bar)."""
+        return max(s.compute_seconds for s in self.stages)
+
+    @property
+    def worst_communication(self) -> float:
+        """Worst-case communication delay across stages (Fig. 7 bar)."""
+        return max(s.communication_seconds for s in self.stages)
+
+    @property
+    def epoch_seconds(self) -> float:
+        """One epoch: fill + steady state over all inputs (Fig. 4)."""
+        return self.period * (self.num_inputs + self.num_stages - 1)
+
+    @property
+    def steady_state_utilization(self) -> float:
+        """Fraction of stage-slots doing useful work across the epoch."""
+        total_slots = (self.num_inputs + self.num_stages - 1) * self.num_stages
+        return (self.num_inputs * self.num_stages) / total_slots
+
+
+class PipelineModel:
+    """Assembles :class:`PipelineTiming` from per-stage costs."""
+
+    def __init__(self, num_layers: int, training: bool = True) -> None:
+        if num_layers < 1:
+            raise ValueError("need at least one layer")
+        self.num_layers = num_layers
+        self.training = training
+        self.stage_order = stage_names(num_layers, training)
+
+    def timing(
+        self,
+        compute: dict[str, float],
+        communication: dict[str, float],
+        num_inputs: int,
+    ) -> PipelineTiming:
+        """Build the timing record.
+
+        Args:
+            compute: stage name -> compute seconds (missing stages are 0).
+            communication: stage name -> outgoing communication seconds.
+            num_inputs: merged sub-graphs per epoch (Table II NumInput).
+        """
+        unknown = (set(compute) | set(communication)) - set(self.stage_order)
+        if unknown:
+            raise ValueError(f"unknown stages: {sorted(unknown)}")
+        stages = tuple(
+            StageCost(
+                name=name,
+                compute_seconds=compute.get(name, 0.0),
+                communication_seconds=communication.get(name, 0.0),
+            )
+            for name in self.stage_order
+        )
+        return PipelineTiming(stages=stages, num_inputs=num_inputs)

@@ -1,0 +1,376 @@
+"""Traffic extraction for pipelined GNN training (paper Sec. III / IV.B).
+
+Given a stage mapping and the block structure of the representative merged
+sub-graph, this module produces the exact message set one pipeline period
+carries.  The construction follows the dataflow of Fig. 1(d)/Fig. 4.
+
+**Block placement.**  Each E stage's adjacency blocks are spread over its
+routers on a 2D grid: block ``(br, bc)`` lives at grid position
+``(br mod a, bc mod b)``.  A feature row therefore multicasts to at most
+``a`` routers (the grid column of its block-column), and each block-row's
+partial sums converge from at most ``b`` routers onto the block-row's
+accumulation home — the *many-to-one-to-many* pattern of Sec. III with a
+bounded multicast degree.  Backward E stages hold the transposed blocks
+(grid position ``(bc mod a, br mod b)``), mirroring the pattern for
+gradients.
+
+**Legs** (all tagged ``SRC->DST`` so the pipeline model can attribute the
+finish time to the producing stage):
+
+* ``Vi -> Ei`` — updated feature rows to the grid column holding their
+  block-column (multicast, degree <= a).
+* ``Ei -> Ei`` — partial-sum reduction onto block-row homes (many-to-one).
+* ``Ei -> Vi+1`` — aggregated rows to the V routers owning them next layer
+  *and* the backward-phase ``BVi+1`` routers (the fwd/bwd multicast).
+* ``Ei -> BEi`` — ReLU masks (1 bit/value); for the last layer also the
+  full-precision loss gradient.
+* ``BEi -> BEi`` — backward partial-sum reduction.
+* ``BEi -> BVi`` and ``BVi -> BEi-1`` — the mirrored backward chain.
+
+Row ownership inside V-type stages is contiguous-chunked over the stage's
+routers.  Messages with identical (source, destination set, tag) are
+coalesced, as a DMA engine would.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import ReGraphXConfig
+from repro.core.mapping import StageMap
+from repro.noc.packet import Message
+from repro.reram.sparse_mapping import BlockMapping
+
+
+def _grid_shape(num_routers: int) -> tuple[int, int]:
+    """Largest divisor pair (a, b), a <= b, a as close to sqrt as possible."""
+    best = (1, num_routers)
+    for a in range(1, int(np.sqrt(num_routers)) + 1):
+        if num_routers % a == 0:
+            best = (a, num_routers // a)
+    return best
+
+
+@dataclass(frozen=True)
+class _EPlacement:
+    """Grid placement of adjacency blocks on one E stage's routers."""
+
+    routers: tuple[int, ...]
+    transposed: bool  # backward stages hold the transposed blocks
+
+    @property
+    def grid(self) -> tuple[int, int]:
+        return _grid_shape(len(self.routers))
+
+    def block_router(self, br: int, bc: int) -> int:
+        """Router holding block (br, bc)."""
+        a, b = self.grid
+        if self.transposed:
+            br, bc = bc, br
+        return self.routers[(br % a) * b + (bc % b)]
+
+    def input_dests(self, group: int, partners: np.ndarray) -> set[int]:
+        """Routers needing input rows of block group ``group``.
+
+        ``partners`` are the occupied opposite-dimension groups: block-rows
+        adjacent to an input column (forward) or block-columns adjacent to
+        an input row (backward).
+        """
+        if self.transposed:
+            return {self.block_router(int(group), int(p)) for p in partners}
+        return {self.block_router(int(p), int(group)) for p in partners}
+
+    def row_home(self, group: int) -> int:
+        """Accumulation home of output group ``group``."""
+        return self.routers[group % len(self.routers)]
+
+    def partial_sources(self, group: int, partners: np.ndarray) -> set[int]:
+        """Routers producing partial sums for output group ``group``."""
+        if self.transposed:
+            return {self.block_router(int(p), int(group)) for p in partners}
+        return {self.block_router(int(group), int(p)) for p in partners}
+
+
+@dataclass(frozen=True)
+class _BlockIndex:
+    """Row/column adjacency structure of the nonzero blocks."""
+
+    brs_by_col: dict[int, np.ndarray]  # block-col -> occupied block-rows
+    bcs_by_row: dict[int, np.ndarray]  # block-row -> occupied block-cols
+    occupied_rows: np.ndarray
+    occupied_cols: np.ndarray
+
+
+def _build_block_index(mapping: BlockMapping) -> _BlockIndex:
+    nbc = mapping.num_block_cols
+    brs = mapping.block_ids // nbc
+    bcs = mapping.block_ids % nbc
+    brs_by_col: dict[int, list[int]] = defaultdict(list)
+    bcs_by_row: dict[int, list[int]] = defaultdict(list)
+    for br, bc in zip(brs.tolist(), bcs.tolist()):
+        brs_by_col[bc].append(br)
+        bcs_by_row[br].append(bc)
+    return _BlockIndex(
+        brs_by_col={k: np.asarray(v) for k, v in brs_by_col.items()},
+        bcs_by_row={k: np.asarray(v) for k, v in bcs_by_row.items()},
+        occupied_rows=np.unique(brs),
+        occupied_cols=np.unique(bcs),
+    )
+
+
+class GNNTrafficModel:
+    """Builds the per-period message set of the full training pipeline."""
+
+    def __init__(
+        self,
+        config: ReGraphXConfig,
+        stage_map: StageMap,
+        block_mapping: BlockMapping,
+        num_nodes: int,
+        layer_dims: list[tuple[int, int]],
+        data_bits: int = 16,
+        e_rounds: int = 1,
+        training: bool = True,
+    ) -> None:
+        if num_nodes < 1:
+            raise ValueError("workload needs at least one node")
+        if e_rounds < 1:
+            raise ValueError("e_rounds must be at least 1")
+        self.training = training
+        if len(layer_dims) != config.num_layers:
+            raise ValueError(
+                f"got {len(layer_dims)} layer dims for a "
+                f"{config.num_layers}-layer configuration"
+            )
+        if data_bits < 1:
+            raise ValueError("data_bits must be positive")
+        self.config = config
+        self.stage_map = stage_map
+        self.block_mapping = block_mapping
+        self.num_nodes = num_nodes
+        self.layer_dims = layer_dims
+        self.data_bits = data_bits
+        # When an E stage's block set exceeds its crossbar budget, blocks
+        # are processed in rounds over disjoint block-COLUMN ranges, so
+        # each input row is still delivered once (to the round that owns
+        # its column group).  ``e_rounds`` is retained for sensitivity
+        # studies (e_rounds > 1 models row-range rounds, which would
+        # re-stream inputs every round); the accelerator default is 1.
+        self.e_rounds = e_rounds
+        self.block_size = block_mapping.block_size
+        self._index = _build_block_index(block_mapping)
+
+    # ------------------------------------------------------------------
+    # Placement helpers
+    # ------------------------------------------------------------------
+    def _placement(self, layer: int, backward: bool) -> _EPlacement:
+        stage = f"BE{layer}" if backward else f"E{layer}"
+        return _EPlacement(
+            routers=self.stage_map.routers(stage), transposed=backward
+        )
+
+    def _chunk_bounds(self, routers: tuple[int, ...]) -> np.ndarray:
+        """Row-range boundaries for contiguous chunk ownership."""
+        r = len(routers)
+        return np.asarray([(k * self.num_nodes) // r for k in range(r + 1)])
+
+    def _owners(self, routers: tuple[int, ...], lo: int, hi: int) -> set[int]:
+        """Routers owning any row in ``[lo, hi)``."""
+        bounds = self._chunk_bounds(routers)
+        first = max(int(np.searchsorted(bounds, lo, side="right") - 1), 0)
+        last = min(
+            int(np.searchsorted(bounds, hi - 1, side="right") - 1), len(routers) - 1
+        )
+        return {routers[k] for k in range(first, last + 1)}
+
+    def _chunks_overlapping(
+        self, routers: tuple[int, ...], lo: int, hi: int
+    ) -> list[tuple[int, int]]:
+        """(router, rows) pairs covering ``[lo, hi)`` by chunk ownership."""
+        bounds = self._chunk_bounds(routers)
+        first = max(int(np.searchsorted(bounds, lo, side="right") - 1), 0)
+        last = min(
+            int(np.searchsorted(bounds, hi - 1, side="right") - 1), len(routers) - 1
+        )
+        out = []
+        for k in range(first, last + 1):
+            rows = min(hi, int(bounds[k + 1])) - max(lo, int(bounds[k]))
+            if rows > 0:
+                out.append((routers[k], rows))
+        return out
+
+    def _group_rows(self, group: int) -> tuple[int, int]:
+        """Row range [lo, hi) covered by block group ``group``."""
+        lo = group * self.block_size
+        hi = min(lo + self.block_size, self.num_nodes)
+        return lo, hi
+
+    # ------------------------------------------------------------------
+    # Message construction
+    # ------------------------------------------------------------------
+    def messages(self) -> list[Message]:
+        """The full message set of one pipeline period, all legs tagged."""
+        acc: dict[tuple[int, frozenset[int], str], int] = defaultdict(int)
+        num_layers = self.config.num_layers
+        for i in range(1, num_layers + 1):
+            din, dout = self.layer_dims[i - 1]
+            self._leg_into_e(acc, i, dout, backward=False)
+            self._leg_partial_sums(acc, i, dout, backward=False)
+            self._leg_e_out(acc, i, dout, is_last=(i == num_layers))
+            if not self.training:
+                continue
+            self._leg_e_to_be(acc, i, dout, gradient=(i == num_layers))
+            self._leg_partial_sums(acc, i, dout, backward=True)
+            self._leg_be_to_bv(acc, i, dout)
+            if i > 1:
+                self._leg_into_e(acc, i, din, backward=True)
+        messages: list[Message] = []
+        for msg_id, ((src, dests, tag), bits) in enumerate(sorted(acc.items(), key=str)):
+            messages.append(
+                Message(
+                    src=src,
+                    dests=tuple(sorted(dests)),
+                    size_bits=bits,
+                    tag=tag,
+                    msg_id=msg_id,
+                )
+            )
+        return messages
+
+    def _add(
+        self,
+        acc: dict[tuple[int, frozenset[int], str], int],
+        src: int,
+        dests: set[int],
+        bits: int,
+        tag: str,
+    ) -> None:
+        dests = dests - {src}
+        if not dests or bits <= 0:
+            return
+        acc[(src, frozenset(dests), tag)] += bits
+
+    def _leg_into_e(self, acc, layer: int, width: int, backward: bool) -> None:
+        """Rows into an E-type stage: Vi->Ei, or BVi->BEi-1 for gradients."""
+        if backward:
+            src_routers = self.stage_map.routers(f"BV{layer}")
+            placement = self._placement(layer - 1, backward=True)
+            groups = self._index.occupied_rows
+            partners_of = self._index.bcs_by_row
+            tag = f"BV{layer}->BE{layer - 1}"
+        else:
+            src_routers = self.stage_map.routers(f"V{layer}")
+            placement = self._placement(layer, backward=False)
+            groups = self._index.occupied_cols
+            partners_of = self._index.brs_by_col
+            tag = f"V{layer}->E{layer}"
+        for g in groups:
+            lo, hi = self._group_rows(int(g))
+            dests = placement.input_dests(int(g), partners_of[int(g)])
+            for router, rows in self._chunks_overlapping(src_routers, lo, hi):
+                self._add(
+                    acc,
+                    router,
+                    dests,
+                    rows * width * self.data_bits * self.e_rounds,
+                    tag,
+                )
+
+    def _leg_partial_sums(self, acc, layer: int, dout: int, backward: bool) -> None:
+        """Within-stage reduction: partial block products to the row home."""
+        placement = self._placement(layer, backward)
+        if backward:
+            groups = self._index.occupied_cols
+            partners_of = self._index.brs_by_col
+            stage = f"BE{layer}"
+        else:
+            groups = self._index.occupied_rows
+            partners_of = self._index.bcs_by_row
+            stage = f"E{layer}"
+        tag = f"{stage}->{stage}"
+        for g in groups:
+            lo, hi = self._group_rows(int(g))
+            home = placement.row_home(int(g))
+            for src in placement.partial_sources(int(g), partners_of[int(g)]):
+                self._add(acc, src, {home}, (hi - lo) * dout * self.data_bits, tag)
+
+    def _leg_e_out(self, acc, layer: int, dout: int, is_last: bool) -> None:
+        """Ei -> Vi+1 (and BVi+1): aggregated rows fan out (multicast)."""
+        if is_last:
+            return  # the last E stage feeds the loss turnaround instead
+        placement = self._placement(layer, backward=False)
+        v_next = self.stage_map.routers(f"V{layer + 1}")
+        bv_next = (
+            self.stage_map.routers(f"BV{layer + 1}") if self.training else ()
+        )
+        for br in self._index.occupied_rows:
+            lo, hi = self._group_rows(int(br))
+            src = placement.row_home(int(br))
+            dests = self._owners(v_next, lo, hi)
+            if bv_next:
+                dests |= self._owners(bv_next, lo, hi)
+            self._add(
+                acc,
+                src,
+                dests,
+                (hi - lo) * dout * self.data_bits,
+                f"E{layer}->V{layer + 1}",
+            )
+
+    def _leg_e_to_be(self, acc, layer: int, dout: int, gradient: bool) -> None:
+        """Ei -> BEi: ReLU masks (plus the loss gradient at the last layer)."""
+        placement = self._placement(layer, backward=False)
+        be_placement = self._placement(layer, backward=True)
+        bits_per_value = self.data_bits + 1 if gradient else 1
+        for br in self._index.occupied_rows:
+            lo, hi = self._group_rows(int(br))
+            src = placement.row_home(int(br))
+            dests = be_placement.input_dests(int(br), self._index.bcs_by_row[int(br)])
+            self._add(
+                acc,
+                src,
+                dests,
+                (hi - lo) * dout * bits_per_value * self.e_rounds,
+                f"E{layer}->BE{layer}",
+            )
+
+    def _leg_be_to_bv(self, acc, layer: int, dout: int) -> None:
+        """BEi -> BVi: back-propagated rows to their chunk owners."""
+        placement = self._placement(layer, backward=True)
+        bv_routers = self.stage_map.routers(f"BV{layer}")
+        for bc in self._index.occupied_cols:
+            lo, hi = self._group_rows(int(bc))
+            src = placement.row_home(int(bc))
+            dests = self._owners(bv_routers, lo, hi)
+            self._add(
+                acc,
+                src,
+                dests,
+                (hi - lo) * dout * self.data_bits,
+                f"BE{layer}->BV{layer}",
+            )
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def leg_volumes(self) -> dict[tuple[str, str], float]:
+        """Total bits per (src_stage, dst_stage) leg — the SA cost weights."""
+        volumes: dict[tuple[str, str], float] = defaultdict(float)
+        for msg in self.messages():
+            src_stage, dst_stage = msg.tag.split("->")
+            volumes[(src_stage, dst_stage)] += msg.size_bits
+            if dst_stage.startswith("V"):
+                # The same messages also reach BV{i+1} (saved activations);
+                # credit that leg so the annealer pulls it close too.
+                volumes[(src_stage, "B" + dst_stage)] += msg.size_bits
+        return dict(volumes)
+
+    def multicast_degree(self) -> float:
+        """Mean destination count per message (diagnostic)."""
+        msgs = self.messages()
+        if not msgs:
+            return 0.0
+        return float(np.mean([len(m.dests) for m in msgs]))

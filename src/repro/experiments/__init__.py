@@ -1,0 +1,32 @@
+"""Experiment drivers: one module per paper table/figure (see DESIGN.md).
+
+Every driver returns a plain dataclass of results and offers a
+``format_*`` helper that renders the same rows/series the paper reports.
+Scales default to laptop-friendly sizes whose *per-input* statistics match
+the full Table II datasets (see ``Workload.full_scale_num_inputs``).
+"""
+
+from repro.experiments.common import DEFAULT_SCALES, ExperimentTable
+from repro.experiments.fig3_zeros import Fig3Result, run_fig3
+from repro.experiments.fig5_accuracy import Fig5Result, run_fig5
+from repro.experiments.fig6_batch import Fig6Result, run_fig6
+from repro.experiments.fig7_noc import Fig7Result, run_fig7
+from repro.experiments.fig8_fullsystem import Fig8Result, run_fig8
+from repro.experiments.tables import table1_parameters, table2_datasets
+
+__all__ = [
+    "DEFAULT_SCALES",
+    "ExperimentTable",
+    "run_fig3",
+    "Fig3Result",
+    "run_fig5",
+    "Fig5Result",
+    "run_fig6",
+    "Fig6Result",
+    "run_fig7",
+    "Fig7Result",
+    "run_fig8",
+    "Fig8Result",
+    "table1_parameters",
+    "table2_datasets",
+]

@@ -1,0 +1,50 @@
+"""Shared experiment utilities: default scales and table rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# Laptop-friendly generation scales whose per-input sub-graph statistics
+# match the full Table II datasets (partitions scale with nodes, so the
+# merged-batch size is scale-invariant).  Each keeps NumInput >= 4 so the
+# representative batch is a genuine subset of the graph.
+DEFAULT_SCALES: dict[str, float] = {
+    "ppi": 0.1,
+    "reddit": 0.02,
+    "amazon2m": 0.004,
+}
+
+
+@dataclass
+class ExperimentTable:
+    """A fixed-width text table (what the benchmark harness prints)."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def render(self) -> str:
+        """Render the table with aligned columns."""
+        cells = [[self._fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in cells)) if cells else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [self.title, "-" * len(self.title)]
+        lines.append("  ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    @staticmethod
+    def _fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3g}"
+        return str(value)

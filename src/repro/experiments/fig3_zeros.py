@@ -1,0 +1,55 @@
+"""Fig. 3: zeros stored by 8x8 vs 128x128 crossbars, per dataset.
+
+The paper normalizes to the 8x8 count (so the 8x8 bar is 1.0) and reports
+that 128x128 crossbars store up to ~7X more zeros.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.heterogeneity import ZeroStorageResult, zero_storage_study
+from repro.experiments.common import DEFAULT_SCALES, ExperimentTable
+from repro.graph.datasets import dataset_names, load_dataset
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    """Zero-storage ratios for every dataset."""
+
+    results: dict[str, ZeroStorageResult]
+
+    def ratio(self, dataset: str) -> float:
+        return self.results[dataset].ratio
+
+    def table(self) -> ExperimentTable:
+        t = ExperimentTable(
+            title="Fig. 3 - zeros stored, normalized to 8x8 crossbars",
+            columns=["dataset", "zeros 8x8 (norm)", "zeros 128x128 (norm)"],
+        )
+        for name, res in self.results.items():
+            t.add_row(name, 1.0, res.ratio)
+        return t
+
+
+def run_fig3(
+    scales: dict[str, float] | None = None,
+    seed: int = 0,
+    small_block: int = 8,
+    large_block: int = 128,
+) -> Fig3Result:
+    """Tile every dataset's adjacency at both crossbar sizes.
+
+    Args:
+        scales: per-dataset generation scale (defaults to DEFAULT_SCALES).
+        seed: generation seed.
+        small_block / large_block: the two crossbar geometries compared.
+    """
+    scales = scales or DEFAULT_SCALES
+    results: dict[str, ZeroStorageResult] = {}
+    for name in dataset_names():
+        graph = load_dataset(
+            name, scale=scales.get(name, 0.02), seed=seed, with_features=False
+        )
+        results[name] = zero_storage_study(graph, small_block, large_block)
+    return Fig3Result(results=results)

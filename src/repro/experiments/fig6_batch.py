@@ -1,0 +1,94 @@
+"""Fig. 6: training time and E-PE demand vs. batch size (Reddit).
+
+Both series are normalized to beta = 1.  Larger beta means fewer, larger
+inputs: training time falls with diminishing returns (the paper notes the
+knee around beta = 10) while E-PE demand rises steadily because larger
+merged sub-graphs occupy more adjacency blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.accelerator import ReGraphX
+from repro.experiments.common import DEFAULT_SCALES, ExperimentTable
+
+
+@dataclass(frozen=True)
+class Fig6Point:
+    """One batch-size setting."""
+
+    batch_size: int
+    num_inputs: int
+    epoch_seconds: float
+    epe_tiles: int
+    nnz_blocks: int
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    """The beta sweep, plus beta=1 normalization helpers."""
+
+    dataset: str
+    points: list[Fig6Point]
+
+    def normalized_training_time(self) -> list[float]:
+        base = self.points[0].epoch_seconds
+        return [p.epoch_seconds / base for p in self.points]
+
+    def normalized_epe_demand(self) -> list[float]:
+        base = self.points[0].epe_tiles
+        return [p.epe_tiles / base for p in self.points]
+
+    def table(self) -> ExperimentTable:
+        t = ExperimentTable(
+            title=f"Fig. 6 - batch size trade-off ({self.dataset}, normalized to beta=1)",
+            columns=["beta", "NumInput", "training time (norm)", "E-PEs (norm)"],
+        )
+        times = self.normalized_training_time()
+        epes = self.normalized_epe_demand()
+        for p, tt, ee in zip(self.points, times, epes):
+            t.add_row(p.batch_size, p.num_inputs, tt, ee)
+        return t
+
+
+def run_fig6(
+    dataset: str = "reddit",
+    scale: float | None = None,
+    betas: tuple[int, ...] = (1, 5, 10, 20),
+    seed: int = 0,
+) -> Fig6Result:
+    """Sweep beta and evaluate epoch time + E-PE demand on ReGraphX.
+
+    The graph and partition are built once (at the paper's NumPart,
+    scaled); each beta re-batches the same partition, evaluates the full
+    architecture model, and records epoch time and adjacency-tile demand.
+    """
+    if sorted(betas) != list(betas):
+        raise ValueError("betas must be given in increasing order")
+    scale = scale if scale is not None else DEFAULT_SCALES[dataset]
+    accelerator = ReGraphX()
+    base = accelerator.build_workload(dataset, scale=scale, seed=seed)
+    points: list[Fig6Point] = []
+    for beta in betas:
+        wl = accelerator.build_workload(
+            dataset,
+            scale=scale,
+            seed=seed,
+            batch_size=beta,
+            graph=base.graph,
+            partition=base.partition,
+        )
+        report = accelerator.evaluate(wl, multicast=True, use_sa=False)
+        points.append(
+            Fig6Point(
+                batch_size=beta,
+                num_inputs=wl.full_scale_num_inputs,
+                epoch_seconds=report.epoch_seconds,
+                epe_tiles=wl.block_mapping.tiles_needed(
+                    accelerator.config.e_tile
+                ),
+                nnz_blocks=wl.block_mapping.nnz_blocks,
+            )
+        )
+    return Fig6Result(dataset=dataset, points=points)

@@ -1,0 +1,89 @@
+"""Fig. 7: computation vs. communication delay (unicast and multicast).
+
+Per dataset, three bars normalized to the largest (the unicast
+communication delay in the paper): worst-stage computation, worst-stage
+communication without multicast, and with tree multicast.  The paper's
+claims: communication always dominates computation, unicast is ~57% worse
+than multicast on average, and for one dataset the computation/
+communication gap nearly closes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.accelerator import ReGraphX
+from repro.experiments.common import DEFAULT_SCALES, ExperimentTable
+from repro.graph.datasets import dataset_names
+
+
+@dataclass(frozen=True)
+class Fig7Point:
+    """Delays for one dataset (seconds)."""
+
+    dataset: str
+    computation: float
+    communication_unicast: float
+    communication_multicast: float
+
+    @property
+    def normalizer(self) -> float:
+        return max(
+            self.computation,
+            self.communication_unicast,
+            self.communication_multicast,
+        )
+
+    @property
+    def unicast_penalty(self) -> float:
+        """How much worse unicast is than multicast (1.573 = 57.3% worse)."""
+        return self.communication_unicast / self.communication_multicast
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    points: dict[str, Fig7Point]
+
+    @property
+    def mean_unicast_penalty(self) -> float:
+        vals = [p.unicast_penalty for p in self.points.values()]
+        return sum(vals) / len(vals)
+
+    def table(self) -> ExperimentTable:
+        t = ExperimentTable(
+            title="Fig. 7 - normalized worst-stage delay",
+            columns=["dataset", "computation", "comm-U", "comm-M"],
+        )
+        for name, p in self.points.items():
+            norm = p.normalizer
+            t.add_row(
+                name,
+                p.computation / norm,
+                p.communication_unicast / norm,
+                p.communication_multicast / norm,
+            )
+        return t
+
+
+def run_fig7(
+    scales: dict[str, float] | None = None,
+    seed: int = 0,
+    use_sa: bool = False,
+) -> Fig7Result:
+    """Evaluate every dataset with and without multicast routing."""
+    scales = scales or DEFAULT_SCALES
+    accelerator = ReGraphX()
+    points: dict[str, Fig7Point] = {}
+    for name in dataset_names():
+        wl = accelerator.build_workload(name, scale=scales[name], seed=seed)
+        multicast = accelerator.evaluate(wl, multicast=True, use_sa=use_sa, seed=seed)
+        unicast = accelerator.evaluate(
+            wl, multicast=False, stage_map=multicast.stage_map
+        )
+        points[name] = Fig7Point(
+            dataset=name,
+            computation=multicast.worst_compute,
+            communication_unicast=unicast.worst_communication,
+            communication_multicast=multicast.worst_communication,
+        )
+    return Fig7Result(points=points)

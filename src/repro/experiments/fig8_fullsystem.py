@@ -1,0 +1,74 @@
+"""Fig. 8: full-system speedup, energy savings, and EDP vs. the V100 GPU.
+
+Paper headline: ReGraphX is up to 3.5X faster (3X on average), up to 11X
+more energy efficient, and improves EDP by 34X on average (up to 40X).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.gpu import GPUModel
+from repro.core.accelerator import ReGraphX
+from repro.core.evaluation import FullSystemComparison, compare_with_gpu
+from repro.experiments.common import DEFAULT_SCALES, ExperimentTable
+from repro.graph.datasets import dataset_names
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    comparisons: dict[str, FullSystemComparison]
+
+    @property
+    def mean_speedup(self) -> float:
+        vals = [c.speedup for c in self.comparisons.values()]
+        return sum(vals) / len(vals)
+
+    @property
+    def max_speedup(self) -> float:
+        return max(c.speedup for c in self.comparisons.values())
+
+    @property
+    def mean_energy_ratio(self) -> float:
+        vals = [c.energy_ratio for c in self.comparisons.values()]
+        return sum(vals) / len(vals)
+
+    @property
+    def max_energy_ratio(self) -> float:
+        return max(c.energy_ratio for c in self.comparisons.values())
+
+    @property
+    def mean_edp_improvement(self) -> float:
+        vals = [c.edp_improvement for c in self.comparisons.values()]
+        return sum(vals) / len(vals)
+
+    @property
+    def max_edp_improvement(self) -> float:
+        return max(c.edp_improvement for c in self.comparisons.values())
+
+    def table(self) -> ExperimentTable:
+        t = ExperimentTable(
+            title="Fig. 8 - ReGraphX vs GPU (normalized to GPU = 1)",
+            columns=["dataset", "speedup", "energy savings", "EDP improvement"],
+        )
+        for name, c in self.comparisons.items():
+            t.add_row(name, c.speedup, c.energy_ratio, c.edp_improvement)
+        return t
+
+
+def run_fig8(
+    scales: dict[str, float] | None = None,
+    seed: int = 0,
+    use_sa: bool = False,
+    gpu: GPUModel | None = None,
+) -> Fig8Result:
+    """Full-system comparison on every dataset."""
+    scales = scales or DEFAULT_SCALES
+    accelerator = ReGraphX()
+    gpu = gpu or GPUModel()
+    comparisons: dict[str, FullSystemComparison] = {}
+    for name in dataset_names():
+        wl = accelerator.build_workload(name, scale=scales[name], seed=seed)
+        report = accelerator.evaluate(wl, multicast=True, use_sa=use_sa, seed=seed)
+        comparisons[name] = compare_with_gpu(report, gpu)
+    return Fig8Result(comparisons=comparisons)

@@ -1,0 +1,68 @@
+"""Run every experiment and print the paper's tables/figures as text.
+
+Usage::
+
+    python -m repro.experiments.runner           # everything
+    python -m repro.experiments.runner fig7 fig8 # a subset
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments.fig3_zeros import run_fig3
+from repro.experiments.fig5_accuracy import run_fig5
+from repro.experiments.fig6_batch import run_fig6
+from repro.experiments.fig7_noc import run_fig7
+from repro.experiments.fig8_fullsystem import run_fig8
+from repro.experiments.tables import table1_parameters, table2_datasets
+
+ALL_EXPERIMENTS = ("table1", "table2", "fig3", "fig5", "fig6", "fig7", "fig8")
+
+
+def run(names: list[str] | None = None, seed: int = 0) -> dict[str, str]:
+    """Run the selected experiments; returns {name: rendered table}."""
+    names = names or list(ALL_EXPERIMENTS)
+    unknown = set(names) - set(ALL_EXPERIMENTS)
+    if unknown:
+        raise ValueError(f"unknown experiments: {sorted(unknown)}")
+    out: dict[str, str] = {}
+    for name in names:
+        start = time.time()
+        if name == "table1":
+            out[name] = table1_parameters().render()
+        elif name == "table2":
+            out[name] = table2_datasets().render()
+        elif name == "fig3":
+            out[name] = run_fig3(seed=seed).table().render()
+        elif name == "fig5":
+            out[name] = run_fig5(seed=seed).table().render()
+        elif name == "fig6":
+            out[name] = run_fig6(seed=seed).table().render()
+        elif name == "fig7":
+            out[name] = run_fig7(seed=seed).table().render()
+        elif name == "fig8":
+            result = run_fig8(seed=seed)
+            summary = (
+                f"\naverage speedup {result.mean_speedup:.2f} "
+                f"(paper: ~3X), max {result.max_speedup:.2f} (paper: up to 3.5X)"
+                f"\naverage energy savings {result.mean_energy_ratio:.2f} "
+                f"(paper: up to ~11X)"
+                f"\naverage EDP improvement {result.mean_edp_improvement:.1f} "
+                f"(paper: ~34X average, up to 40X)"
+            )
+            out[name] = result.table().render() + summary
+        out[name] += f"\n[{time.time() - start:.1f}s]"
+    return out
+
+
+def main(argv: list[str] | None = None) -> None:
+    names = list(argv if argv is not None else sys.argv[1:]) or None
+    for name, text in run(names).items():
+        print()
+        print(text)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""GNN substrate: a numpy GCN with exact forward/backward passes.
+
+Replaces the paper's TensorFlow Cluster-GCN.  The model is the standard
+Kipf-Welling GCN: each neural layer is a V-layer (dense ``H W`` multiply)
+followed by an E-layer (sparse ``A_hat (H W)`` aggregation), matching the
+paper's Fig. 1 decomposition exactly — the same decomposition the
+architecture maps onto V-PEs and E-PEs.
+"""
+
+from repro.gnn.layers import GCNLayer
+from repro.gnn.metrics import accuracy, macro_f1, micro_f1
+from repro.gnn.model import GCN
+from repro.gnn.ops import (
+    glorot_init,
+    relu,
+    relu_grad,
+    softmax,
+    softmax_cross_entropy,
+)
+from repro.gnn.sage import GraphSAGE, SAGELayer, mean_adjacency
+from repro.gnn.training import Adam, ClusterGCNTrainer, EpochStats, TrainingHistory
+
+__all__ = [
+    "GCNLayer",
+    "GCN",
+    "GraphSAGE",
+    "SAGELayer",
+    "mean_adjacency",
+    "relu",
+    "relu_grad",
+    "softmax",
+    "softmax_cross_entropy",
+    "glorot_init",
+    "accuracy",
+    "micro_f1",
+    "macro_f1",
+    "Adam",
+    "ClusterGCNTrainer",
+    "EpochStats",
+    "TrainingHistory",
+]

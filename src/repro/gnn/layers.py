@@ -1,0 +1,87 @@
+"""One GCN neural layer = V-layer (dense multiply) + E-layer (aggregation).
+
+The forward pass computes ``H_out = act(A_hat @ (H_in @ W))`` — exactly the
+V-then-E decomposition of paper Fig. 1(b)/(c).  The backward pass produces
+the gradient w.r.t. both the weights and the layer input, using the cached
+forward activations (the data the accelerator must ship between forward and
+backward PEs, the source of the paper's multicast traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse
+
+from repro.gnn.ops import relu, relu_grad, spmm
+
+
+@dataclass
+class GCNLayer:
+    """A single GCN layer with trainable weight ``W``.
+
+    Attributes:
+        weight: ``(in_dim, out_dim)`` dense weight (the V-layer operand).
+        activation: ``"relu"`` or ``"linear"`` (the output layer is linear).
+    """
+
+    weight: np.ndarray
+    activation: str = "relu"
+    _cache: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self.weight = np.asarray(self.weight, dtype=np.float64)
+        if self.weight.ndim != 2:
+            raise ValueError(f"weight must be 2-D, got shape {self.weight.shape}")
+        if self.activation not in ("relu", "linear"):
+            raise ValueError(f"unknown activation {self.activation!r}")
+
+    @property
+    def in_dim(self) -> int:
+        return int(self.weight.shape[0])
+
+    @property
+    def out_dim(self) -> int:
+        return int(self.weight.shape[1])
+
+    def forward(self, a_hat: sparse.spmatrix, h_in: np.ndarray) -> np.ndarray:
+        """Run V-layer then E-layer; cache intermediates for backward."""
+        if h_in.shape[1] != self.in_dim:
+            raise ValueError(
+                f"input width {h_in.shape[1]} does not match weight fan-in {self.in_dim}"
+            )
+        v_out = h_in @ self.weight           # V-layer: Y = X W
+        pre = spmm(a_hat, v_out)             # E-layer: Z = A_hat Y
+        out = relu(pre) if self.activation == "relu" else pre
+        self._cache = {"a_hat": a_hat, "h_in": h_in, "pre": pre}
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Backprop through the layer.
+
+        Args:
+            grad_out: gradient of the loss w.r.t. this layer's output.
+
+        Returns:
+            (grad_weight, grad_input): gradients w.r.t. ``W`` and ``h_in``.
+        """
+        if not self._cache:
+            raise RuntimeError("backward called before forward")
+        a_hat = self._cache["a_hat"]
+        h_in = self._cache["h_in"]
+        pre = self._cache["pre"]
+        if grad_out.shape != pre.shape:
+            raise ValueError(
+                f"grad_out shape {grad_out.shape} does not match forward output {pre.shape}"
+            )
+        if self.activation == "relu":
+            grad_pre = grad_out * relu_grad(pre)
+        else:
+            grad_pre = grad_out
+        # E-layer backward: A_hat is symmetric, so A_hat^T = A_hat.
+        grad_v = spmm(a_hat.T, grad_pre)
+        # V-layer backward.
+        grad_weight = h_in.T @ grad_v
+        grad_input = grad_v @ self.weight.T
+        return grad_weight, grad_input

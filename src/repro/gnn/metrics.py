@@ -1,0 +1,54 @@
+"""Classification metrics used in the accuracy experiments (paper Fig. 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _validate(predictions: np.ndarray, labels: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError(
+            f"shape mismatch: predictions {predictions.shape} vs labels {labels.shape}"
+        )
+    if predictions.size == 0:
+        raise ValueError("empty prediction array")
+    return predictions, labels
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    predictions, labels = _validate(predictions, labels)
+    return float((predictions == labels).mean())
+
+
+def micro_f1(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Micro-averaged F1.
+
+    For single-label multi-class problems micro-F1 equals accuracy (every
+    false positive is some other class's false negative); implemented
+    explicitly so the identity is verifiable in tests.
+    """
+    predictions, labels = _validate(predictions, labels)
+    classes = np.union1d(predictions, labels)
+    tp = fp = fn = 0
+    for c in classes:
+        tp += int(((predictions == c) & (labels == c)).sum())
+        fp += int(((predictions == c) & (labels != c)).sum())
+        fn += int(((predictions != c) & (labels == c)).sum())
+    denom = 2 * tp + fp + fn
+    return 2 * tp / denom if denom else 0.0
+
+
+def macro_f1(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Macro-averaged F1 over the classes present in ``labels``."""
+    predictions, labels = _validate(predictions, labels)
+    scores = []
+    for c in np.unique(labels):
+        tp = int(((predictions == c) & (labels == c)).sum())
+        fp = int(((predictions == c) & (labels != c)).sum())
+        fn = int(((predictions != c) & (labels == c)).sum())
+        denom = 2 * tp + fp + fn
+        scores.append(2 * tp / denom if denom else 0.0)
+    return float(np.mean(scores))

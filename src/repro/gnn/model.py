@@ -1,0 +1,94 @@
+"""Multi-layer GCN model (the paper uses 4 neural layers per dataset)."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.gnn.layers import GCNLayer
+from repro.gnn.ops import glorot_init, softmax, softmax_cross_entropy
+from repro.utils.rng import rng_from_seed, spawn_rngs
+
+
+class GCN:
+    """A stack of :class:`GCNLayer` with softmax cross-entropy on top.
+
+    Layer widths follow the paper's Cluster-GCN configuration:
+    ``feature_dim -> hidden -> ... -> hidden -> num_classes`` with
+    ``num_layers`` neural (V+E) layers in total; hidden layers use ReLU and
+    the output layer is linear.
+    """
+
+    def __init__(
+        self,
+        feature_dim: int,
+        hidden_dim: int,
+        num_classes: int,
+        num_layers: int = 4,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if num_layers < 1:
+            raise ValueError(f"need at least one layer, got {num_layers}")
+        rng = rng_from_seed(seed)
+        dims = [feature_dim] + [hidden_dim] * (num_layers - 1) + [num_classes]
+        rngs = spawn_rngs(rng, num_layers)
+        self.layers = [
+            GCNLayer(
+                weight=glorot_init(dims[i], dims[i + 1], rngs[i]),
+                activation="linear" if i == num_layers - 1 else "relu",
+            )
+            for i in range(num_layers)
+        ]
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def layer_dims(self) -> list[tuple[int, int]]:
+        """(in_dim, out_dim) per neural layer."""
+        return [(layer.in_dim, layer.out_dim) for layer in self.layers]
+
+    def parameters(self) -> list[np.ndarray]:
+        """Live references to all trainable weights (optimizer mutates them)."""
+        return [layer.weight for layer in self.layers]
+
+    def num_parameters(self) -> int:
+        return int(sum(w.size for w in self.parameters()))
+
+    def forward(self, a_hat: sparse.spmatrix, features: np.ndarray) -> np.ndarray:
+        """Full forward pass; returns logits."""
+        h = np.asarray(features, dtype=np.float64)
+        for layer in self.layers:
+            h = layer.forward(a_hat, h)
+        return h
+
+    def loss_and_gradients(
+        self,
+        a_hat: sparse.spmatrix,
+        features: np.ndarray,
+        labels: np.ndarray,
+        mask: np.ndarray | None = None,
+    ) -> tuple[float, list[np.ndarray], np.ndarray]:
+        """Forward + backward pass.
+
+        Returns:
+            (loss, weight_gradients, logits) — gradients are ordered like
+            :meth:`parameters`.
+        """
+        logits = self.forward(a_hat, features)
+        loss, grad = softmax_cross_entropy(logits, labels, mask)
+        grads: list[np.ndarray] = []
+        for layer in reversed(self.layers):
+            grad_w, grad = layer.backward(grad)
+            grads.append(grad_w)
+        grads.reverse()
+        return loss, grads, logits
+
+    def predict(self, a_hat: sparse.spmatrix, features: np.ndarray) -> np.ndarray:
+        """Predicted class id per node."""
+        return np.argmax(self.forward(a_hat, features), axis=1)
+
+    def predict_proba(self, a_hat: sparse.spmatrix, features: np.ndarray) -> np.ndarray:
+        """Class probabilities per node."""
+        return softmax(self.forward(a_hat, features))

@@ -1,0 +1,86 @@
+"""Primitive numerical operations for the numpy GCN.
+
+Everything here is pure and shape-checked; layers compose these into
+forward/backward passes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.utils.rng import rng_from_seed
+
+
+def glorot_init(
+    fan_in: int, fan_out: int, seed: int | np.random.Generator | None = 0
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialization for a ``(fan_in, fan_out)`` weight."""
+    if fan_in < 1 or fan_out < 1:
+        raise ValueError(f"fan dimensions must be positive, got ({fan_in}, {fan_out})")
+    rng = rng_from_seed(seed)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Elementwise max(x, 0)."""
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(pre_activation: np.ndarray) -> np.ndarray:
+    """Derivative of ReLU evaluated at the pre-activation values."""
+    return (pre_activation > 0.0).astype(pre_activation.dtype)
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax, numerically stabilized."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray, mask: np.ndarray | None = None
+) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy over (masked) rows and its gradient w.r.t. logits.
+
+    Args:
+        logits: ``(n, classes)`` raw scores.
+        labels: ``(n,)`` integer class ids.
+        mask: optional boolean ``(n,)`` selecting the rows that contribute
+            to the loss (e.g. training nodes in the current sub-graph).
+
+    Returns:
+        (loss, grad) where ``grad`` has the same shape as ``logits`` and is
+        already averaged over the contributing rows (zero on masked-out rows).
+    """
+    n, num_classes = logits.shape
+    labels = np.asarray(labels)
+    if labels.shape != (n,):
+        raise ValueError(f"labels shape {labels.shape} does not match logits rows {n}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError("label id out of range for logits width")
+    if mask is None:
+        mask = np.ones(n, dtype=bool)
+    mask = np.asarray(mask, dtype=bool)
+    count = int(mask.sum())
+    if count == 0:
+        return 0.0, np.zeros_like(logits)
+    probs = softmax(logits)
+    picked = probs[np.arange(n), labels]
+    loss = float(-np.log(np.clip(picked[mask], 1e-12, None)).mean())
+    grad = probs.copy()
+    grad[np.arange(n), labels] -= 1.0
+    grad[~mask] = 0.0
+    grad /= count
+    return loss, grad
+
+
+def spmm(a_hat: sparse.spmatrix, dense: np.ndarray) -> np.ndarray:
+    """Sparse-dense multiply ``A_hat @ dense`` (the E-layer operation)."""
+    if a_hat.shape[1] != dense.shape[0]:
+        raise ValueError(
+            f"shape mismatch: {a_hat.shape} @ {dense.shape}"
+        )
+    return np.asarray(a_hat @ dense)

@@ -1,0 +1,134 @@
+"""GraphSAGE (mean aggregator) — the paper's generality claim.
+
+Paper Sec. V.A: "our findings and the proposed architecture are equally
+applicable to other GNNs that rely on the recursive neighborhood
+aggregation scheme."  GraphSAGE-mean is the canonical other member of that
+family: each layer computes
+
+    h' = act( [ h  ||  mean_{u in N(v)} h_u ] @ W )
+
+with ``W`` stacking the self- and neighbor-transforms.  Folding both into
+one weight keeps the layer inside the single-matrix V-layer abstraction the
+hardware model maps, so a SAGE workload schedules on ReGraphX unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse
+
+from repro.gnn.model import GCN
+from repro.gnn.ops import glorot_init, relu, relu_grad, spmm
+from repro.graph.graph import CSRGraph
+from repro.utils.rng import rng_from_seed, spawn_rngs
+
+
+def mean_adjacency(graph: CSRGraph) -> sparse.csr_matrix:
+    """Row-normalized adjacency ``D^-1 A`` (the mean aggregator, no
+    self-loops — SAGE handles self features through the concat path)."""
+    adj = graph.to_scipy().astype(np.float64)
+    deg = np.asarray(adj.sum(axis=1)).ravel()
+    inv = np.zeros_like(deg)
+    nz = deg > 0
+    inv[nz] = 1.0 / deg[nz]
+    return (sparse.diags(inv) @ adj).tocsr()
+
+
+@dataclass
+class SAGELayer:
+    """One GraphSAGE-mean layer with a stacked ``(2*in_dim, out_dim)`` weight."""
+
+    weight: np.ndarray
+    activation: str = "relu"
+    _cache: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self.weight = np.asarray(self.weight, dtype=np.float64)
+        if self.weight.ndim != 2 or self.weight.shape[0] % 2:
+            raise ValueError(
+                f"SAGE weight must stack [self; neighbor] transforms: "
+                f"got shape {self.weight.shape}"
+            )
+        if self.activation not in ("relu", "linear"):
+            raise ValueError(f"unknown activation {self.activation!r}")
+
+    @property
+    def in_dim(self) -> int:
+        return int(self.weight.shape[0] // 2)
+
+    @property
+    def out_dim(self) -> int:
+        return int(self.weight.shape[1])
+
+    def forward(self, a_mean: sparse.spmatrix, h_in: np.ndarray) -> np.ndarray:
+        """``act(concat(h, A_mean h) @ W)``; caches for backward."""
+        if h_in.shape[1] != self.in_dim:
+            raise ValueError(
+                f"input width {h_in.shape[1]} does not match fan-in {self.in_dim}"
+            )
+        aggregated = spmm(a_mean, h_in)
+        stacked = np.concatenate([h_in, aggregated], axis=1)
+        pre = stacked @ self.weight
+        out = relu(pre) if self.activation == "relu" else pre
+        self._cache = {"a_mean": a_mean, "stacked": stacked, "pre": pre}
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Returns (grad_weight, grad_input)."""
+        if not self._cache:
+            raise RuntimeError("backward called before forward")
+        a_mean = self._cache["a_mean"]
+        stacked = self._cache["stacked"]
+        pre = self._cache["pre"]
+        if grad_out.shape != pre.shape:
+            raise ValueError(
+                f"grad_out shape {grad_out.shape} does not match output {pre.shape}"
+            )
+        grad_pre = grad_out * relu_grad(pre) if self.activation == "relu" else grad_out
+        grad_weight = stacked.T @ grad_pre
+        grad_stacked = grad_pre @ self.weight.T
+        d = self.in_dim
+        grad_self = grad_stacked[:, :d]
+        grad_agg = grad_stacked[:, d:]
+        # Mean aggregation is linear: its adjoint is A_mean^T.
+        grad_input = grad_self + spmm(a_mean.T, grad_agg)
+        return grad_weight, grad_input
+
+
+class GraphSAGE(GCN):
+    """GraphSAGE-mean model with the same interface as :class:`GCN`.
+
+    Pass :func:`mean_adjacency` of the (sub-)graph as the propagation
+    operator — everything else (trainer, metrics, hardware shapes via
+    ``layer_dims``) is shared with the GCN path.
+    """
+
+    def __init__(
+        self,
+        feature_dim: int,
+        hidden_dim: int,
+        num_classes: int,
+        num_layers: int = 4,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if num_layers < 1:
+            raise ValueError(f"need at least one layer, got {num_layers}")
+        rng = rng_from_seed(seed)
+        dims = [feature_dim] + [hidden_dim] * (num_layers - 1) + [num_classes]
+        rngs = spawn_rngs(rng, num_layers)
+        # Intentionally skip GCN.__init__ (layers differ); rebuild here.
+        self.layers = [
+            SAGELayer(
+                weight=glorot_init(2 * dims[i], dims[i + 1], rngs[i]),
+                activation="linear" if i == num_layers - 1 else "relu",
+            )
+            for i in range(num_layers)
+        ]
+
+    @property
+    def layer_dims(self) -> list[tuple[int, int]]:
+        """(effective_in_dim, out_dim) per layer — the V-layer weight is
+        ``2*in_dim`` wide because of the concat."""
+        return [(2 * layer.in_dim, layer.out_dim) for layer in self.layers]

@@ -1,0 +1,197 @@
+"""Cluster-GCN training loop (paper Sec. V.B / Fig. 5).
+
+The trainer consumes merged cluster batches from
+:class:`repro.graph.clustering.ClusterBatcher`: each step runs one forward +
+backward pass over one merged sub-graph and applies an Adam update.  Small
+batch sizes (beta) produce small, edge-starved sub-graphs and thus noisy
+gradients — the instability the paper shows for beta = 1 and 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gnn.metrics import accuracy
+from repro.gnn.model import GCN
+from repro.graph.clustering import ClusterBatcher
+from repro.graph.graph import CSRGraph
+from repro.utils.rng import rng_from_seed
+
+
+class Adam:
+    """Adam optimizer over a list of live parameter arrays."""
+
+    def __init__(
+        self,
+        parameters: list[np.ndarray],
+        lr: float = 0.01,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not 0 <= beta1 < 1 or not 0 <= beta2 < 1:
+            raise ValueError("betas must lie in [0, 1)")
+        self.parameters = parameters
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p) for p in parameters]
+        self._v = [np.zeros_like(p) for p in parameters]
+        self._t = 0
+
+    def step(self, gradients: list[np.ndarray]) -> None:
+        """Apply one Adam update in place."""
+        if len(gradients) != len(self.parameters):
+            raise ValueError(
+                f"got {len(gradients)} gradients for {len(self.parameters)} parameters"
+            )
+        self._t += 1
+        for p, g, m, v in zip(self.parameters, gradients, self._m, self._v):
+            if g.shape != p.shape:
+                raise ValueError(f"gradient shape {g.shape} != parameter shape {p.shape}")
+            if self.weight_decay:
+                g = g + self.weight_decay * p
+            m *= self.beta1
+            m += (1 - self.beta1) * g
+            v *= self.beta2
+            v += (1 - self.beta2) * g * g
+            m_hat = m / (1 - self.beta1**self._t)
+            v_hat = v / (1 - self.beta2**self._t)
+            p -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+@dataclass(frozen=True)
+class EpochStats:
+    """Metrics recorded after one training epoch."""
+
+    epoch: int
+    train_loss: float
+    train_accuracy: float
+    val_accuracy: float
+
+
+@dataclass
+class TrainingHistory:
+    """Accumulated per-epoch statistics (Fig. 5's accuracy curves)."""
+
+    epochs: list[EpochStats] = field(default_factory=list)
+
+    def append(self, stats: EpochStats) -> None:
+        self.epochs.append(stats)
+
+    @property
+    def train_accuracy(self) -> list[float]:
+        return [e.train_accuracy for e in self.epochs]
+
+    @property
+    def val_accuracy(self) -> list[float]:
+        return [e.val_accuracy for e in self.epochs]
+
+    @property
+    def train_loss(self) -> list[float]:
+        return [e.train_loss for e in self.epochs]
+
+    @property
+    def final_val_accuracy(self) -> float:
+        if not self.epochs:
+            raise ValueError("history is empty")
+        return self.epochs[-1].val_accuracy
+
+    def stability(self, window: int = 10) -> float:
+        """Largest epoch-to-epoch validation accuracy *drop* over the last
+        ``window`` epochs — the 'sudden dips' measure for Fig. 5."""
+        acc = self.val_accuracy[-window:]
+        if len(acc) < 2:
+            return 0.0
+        drops = [max(0.0, acc[i] - acc[i + 1]) for i in range(len(acc) - 1)]
+        return max(drops)
+
+
+class ClusterGCNTrainer:
+    """Trains a :class:`GCN` with stochastic multi-cluster batching.
+
+    Args:
+        model: the GCN to train.
+        graph: the full (featured, labeled) graph.
+        batcher: epoch sampler of merged cluster batches.
+        train_fraction: fraction of nodes used for training; the rest form
+            the validation set (split is deterministic per seed).
+        lr: Adam learning rate.
+        seed: controls the train/val split.
+    """
+
+    def __init__(
+        self,
+        model: GCN,
+        graph: CSRGraph,
+        batcher: ClusterBatcher,
+        train_fraction: float = 0.7,
+        lr: float = 0.01,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if graph.features is None or graph.labels is None:
+            raise ValueError("training requires a graph with features and labels")
+        if not 0 < train_fraction < 1:
+            raise ValueError(f"train_fraction must be in (0, 1), got {train_fraction}")
+        self.model = model
+        self.graph = graph
+        self.batcher = batcher
+        self.optimizer = Adam(model.parameters(), lr=lr)
+        rng = rng_from_seed(seed)
+        order = rng.permutation(graph.num_nodes)
+        n_train = int(train_fraction * graph.num_nodes)
+        self.train_mask = np.zeros(graph.num_nodes, dtype=bool)
+        self.train_mask[order[:n_train]] = True
+        self.val_mask = ~self.train_mask
+        # Validation runs on the full graph's normalized adjacency (cached).
+        self._full_a_hat = graph.normalized_adjacency()
+
+    def train_epoch(self) -> tuple[float, float]:
+        """One epoch over all merged batches; returns (mean loss, train acc)."""
+        losses: list[float] = []
+        correct = 0
+        counted = 0
+        for batch in self.batcher.epoch():
+            sub = batch.subgraph
+            a_hat = sub.normalized_adjacency()
+            mask = self.train_mask[batch.nodes]
+            loss, grads, logits = self.model.loss_and_gradients(
+                a_hat, sub.features, sub.labels, mask
+            )
+            if mask.any():
+                self.optimizer.step(grads)
+                losses.append(loss)
+                preds = np.argmax(logits[mask], axis=1)
+                correct += int((preds == sub.labels[mask]).sum())
+                counted += int(mask.sum())
+        mean_loss = float(np.mean(losses)) if losses else 0.0
+        train_acc = correct / counted if counted else 0.0
+        return mean_loss, train_acc
+
+    def evaluate(self) -> float:
+        """Validation accuracy over the full graph."""
+        preds = self.model.predict(self._full_a_hat, self.graph.features)
+        return accuracy(preds[self.val_mask], self.graph.labels[self.val_mask])
+
+    def fit(self, num_epochs: int, verbose: bool = False) -> TrainingHistory:
+        """Run ``num_epochs`` epochs; returns the accuracy history."""
+        if num_epochs < 1:
+            raise ValueError(f"num_epochs must be >= 1, got {num_epochs}")
+        history = TrainingHistory()
+        for epoch in range(num_epochs):
+            loss, train_acc = self.train_epoch()
+            val_acc = self.evaluate()
+            history.append(EpochStats(epoch, loss, train_acc, val_acc))
+            if verbose:
+                print(
+                    f"epoch {epoch:3d}  loss {loss:.4f}  "
+                    f"train acc {train_acc:.3f}  val acc {val_acc:.3f}"
+                )
+        return history

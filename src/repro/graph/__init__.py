@@ -1,0 +1,44 @@
+"""Graph substrate: CSR graphs, synthetic datasets, partitioning, batching.
+
+This subpackage replaces the external graph stack the paper relied on
+(real PPI/Reddit/Amazon2M downloads, the METIS partitioner, and
+Cluster-GCN's stochastic multi-cluster batching) with self-contained,
+deterministic implementations.
+"""
+
+from repro.graph.clustering import ClusterBatcher, merge_partitions
+from repro.graph.datasets import (
+    DATASETS,
+    DatasetSpec,
+    dataset_names,
+    get_dataset_spec,
+    load_dataset,
+)
+from repro.graph.generators import (
+    powerlaw_community_graph,
+    random_features_and_labels,
+    rmat_graph,
+)
+from repro.graph.graph import CSRGraph
+from repro.graph.io import load_graph, load_partition, save_graph, save_partition
+from repro.graph.partition import PartitionResult, partition_graph
+
+__all__ = [
+    "CSRGraph",
+    "powerlaw_community_graph",
+    "random_features_and_labels",
+    "rmat_graph",
+    "save_graph",
+    "load_graph",
+    "save_partition",
+    "load_partition",
+    "DatasetSpec",
+    "DATASETS",
+    "dataset_names",
+    "get_dataset_spec",
+    "load_dataset",
+    "partition_graph",
+    "PartitionResult",
+    "ClusterBatcher",
+    "merge_partitions",
+]

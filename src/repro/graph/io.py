@@ -1,0 +1,87 @@
+"""Graph serialization: save/load CSR graphs as compressed .npz archives.
+
+Keeps expensive synthetic generations and partitions reusable across
+sessions; archives are self-describing and versioned.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph.graph import CSRGraph
+from repro.graph.partition import PartitionResult
+
+_FORMAT_VERSION = 1
+
+
+def save_graph(graph: CSRGraph, path: str | Path) -> None:
+    """Write ``graph`` (structure + optional features/labels) to ``path``."""
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {
+        "version": np.array([_FORMAT_VERSION]),
+        "indptr": graph.indptr,
+        "indices": graph.indices,
+        "name": np.array([graph.name]),
+    }
+    if graph.features is not None:
+        arrays["features"] = graph.features
+    if graph.labels is not None:
+        arrays["labels"] = graph.labels
+    community = getattr(graph, "community", None)
+    if community is not None:
+        arrays["community"] = np.asarray(community)
+    np.savez_compressed(path, **arrays)
+
+
+def load_graph(path: str | Path) -> CSRGraph:
+    """Read a graph previously written by :func:`save_graph`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no graph archive at {path}")
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["version"][0])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported graph archive version {version} "
+                f"(this build reads {_FORMAT_VERSION})"
+            )
+        graph = CSRGraph(
+            indptr=data["indptr"],
+            indices=data["indices"],
+            features=data["features"] if "features" in data else None,
+            labels=data["labels"] if "labels" in data else None,
+            name=str(data["name"][0]),
+        )
+        if "community" in data:
+            graph.community = data["community"]
+    return graph
+
+
+def save_partition(partition: PartitionResult, path: str | Path) -> None:
+    """Write a partition result next to its graph."""
+    np.savez_compressed(
+        Path(path),
+        version=np.array([_FORMAT_VERSION]),
+        assignment=partition.assignment,
+        num_parts=np.array([partition.num_parts]),
+        edge_cut=np.array([partition.edge_cut]),
+        part_sizes=partition.part_sizes,
+        imbalance=np.array([partition.imbalance]),
+    )
+
+
+def load_partition(path: str | Path) -> PartitionResult:
+    """Read a partition previously written by :func:`save_partition`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no partition archive at {path}")
+    with np.load(path, allow_pickle=False) as data:
+        return PartitionResult(
+            assignment=data["assignment"],
+            num_parts=int(data["num_parts"][0]),
+            edge_cut=int(data["edge_cut"][0]),
+            part_sizes=data["part_sizes"],
+            imbalance=float(data["imbalance"][0]),
+        )

@@ -1,0 +1,132 @@
+"""NoC evaluation utilities: load sweeps, saturation, bisection, hop stats.
+
+Standard network-on-chip characterization on top of the static scheduler:
+latency-vs-injection-rate curves (the saturation plot every NoC paper
+shows), bisection link counts, and average hop distance under a traffic
+pattern.  Used by the design-space exploration and the NoC ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.noc.packet import Message
+from repro.noc.schedule import NoCConfig, StaticScheduler
+from repro.noc.topology import Mesh3D
+from repro.utils.rng import rng_from_seed
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One injection-rate sample of a load sweep."""
+
+    offered_rate: float  # messages per router per 100 cycles
+    average_latency_cycles: float
+    makespan_cycles: int
+    max_link_load: int
+
+    @property
+    def saturated(self) -> bool:
+        """Heuristic saturation flag: latency >> uncontended scale."""
+        return self.average_latency_cycles > 10 * 64
+
+
+def latency_throughput_sweep(
+    topo: Mesh3D,
+    rates: list[float],
+    config: NoCConfig | None = None,
+    window_cycles: int = 2000,
+    size_bits: int = 256,
+    seed: int = 0,
+) -> list[SweepPoint]:
+    """Average latency under uniform-random traffic at each offered rate.
+
+    Args:
+        topo: the mesh.
+        rates: offered load in messages per router per 100 cycles.
+        config: NoC parameters.
+        window_cycles: injection window; messages arrive uniformly in it.
+        size_bits: message payload.
+        seed: RNG seed.
+
+    Returns:
+        One :class:`SweepPoint` per rate, in order.
+    """
+    if not rates:
+        raise ValueError("need at least one rate")
+    if any(r <= 0 for r in rates):
+        raise ValueError("rates must be positive")
+    config = config or NoCConfig()
+    scheduler = StaticScheduler(topo, config)
+    points: list[SweepPoint] = []
+    for rate in rates:
+        rng = rng_from_seed(seed)
+        count = max(1, int(rate * topo.num_routers * window_cycles / 100))
+        messages = []
+        for i in range(count):
+            src = int(rng.integers(topo.num_routers))
+            dst = int(rng.integers(topo.num_routers))
+            while dst == src:
+                dst = int(rng.integers(topo.num_routers))
+            messages.append(
+                Message(
+                    src=src,
+                    dests=(dst,),
+                    size_bits=size_bits,
+                    inject_cycle=int(rng.integers(window_cycles)),
+                    msg_id=i,
+                )
+            )
+        result = scheduler.simulate(messages, multicast=False)
+        latencies = [
+            result.message_finish[m.msg_id] - m.inject_cycle for m in messages
+        ]
+        points.append(
+            SweepPoint(
+                offered_rate=rate,
+                average_latency_cycles=float(np.mean(latencies)),
+                makespan_cycles=result.makespan_cycles,
+                max_link_load=result.link_stats.max_link_load,
+            )
+        )
+    return points
+
+
+def saturation_rate(points: list[SweepPoint]) -> float | None:
+    """First offered rate at which the network saturates (None if never)."""
+    for point in points:
+        if point.saturated:
+            return point.offered_rate
+    return None
+
+
+def bisection_links(topo: Mesh3D) -> int:
+    """Directed links crossing the X mid-plane — the bisection bandwidth
+    in links (multiply by flit rate for bits/s)."""
+    cut = topo.width // 2
+    count = 0
+    for src, dst in topo.links():
+        x1 = topo.coords(src)[0]
+        x2 = topo.coords(dst)[0]
+        if (x1 < cut) != (x2 < cut):
+            count += 1
+    return count
+
+
+def average_hop_count(
+    topo: Mesh3D, pairs: list[tuple[int, int]] | None = None
+) -> float:
+    """Mean minimal hop distance, over ``pairs`` or all distinct pairs."""
+    if pairs is None:
+        n = topo.num_routers
+        total = 0
+        for src in range(n):
+            for dst in range(n):
+                if src != dst:
+                    total += topo.distance(src, dst)
+        return total / (n * (n - 1))
+    if not pairs:
+        raise ValueError("pairs must be non-empty")
+    return float(np.mean([topo.distance(s, d) for s, d in pairs]))

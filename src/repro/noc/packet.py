@@ -1,0 +1,52 @@
+"""Messages and their flit decomposition."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Message:
+    """One logical transfer between PEs.
+
+    A message with several destinations is a *multicast* message: under
+    tree routing it traverses a multicast tree once; under unicast routing
+    it is replicated into one packet per destination.
+
+    Attributes:
+        src: source router id.
+        dests: destination router ids (at least one; no duplicates).
+        size_bits: payload size.
+        inject_cycle: earliest cycle the packet may enter the network.
+        tag: free-form label (e.g. which pipeline stage produced it) used
+            to slice results per layer.
+    """
+
+    src: int
+    dests: tuple[int, ...]
+    size_bits: int
+    inject_cycle: int = 0
+    tag: str = ""
+    msg_id: int = field(default=-1, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.dests:
+            raise ValueError("message needs at least one destination")
+        if len(set(self.dests)) != len(self.dests):
+            raise ValueError(f"duplicate destinations: {self.dests}")
+        if self.src in self.dests:
+            raise ValueError("message destination equals its source")
+        if self.size_bits < 1:
+            raise ValueError(f"message size must be positive, got {self.size_bits}")
+        if self.inject_cycle < 0:
+            raise ValueError("inject_cycle must be non-negative")
+
+    @property
+    def is_multicast(self) -> bool:
+        return len(self.dests) > 1
+
+    def num_flits(self, flit_bits: int) -> int:
+        """Flits for this payload: one head flit plus the body."""
+        if flit_bits < 1:
+            raise ValueError(f"flit width must be positive, got {flit_bits}")
+        return 1 + -(-self.size_bits // flit_bits)

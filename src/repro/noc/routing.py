@@ -1,0 +1,89 @@
+"""Deterministic routing: dimension-ordered unicast and tree multicast.
+
+Unicast uses X-Y-Z dimension order (planar first, then the vertical hop —
+in ReGraphX's sandwich the V<->E hop is the single final Z step).  Because
+every route from a given source follows the same deterministic dimension
+order, the union of routes to any destination set forms a tree — exactly
+the 3D tree multicast the paper relies on [12].
+"""
+
+from __future__ import annotations
+
+from repro.noc.topology import Link, Mesh3D
+
+
+def dimension_order_route(
+    topo: Mesh3D, src: int, dst: int, order: str = "xyz"
+) -> list[int]:
+    """Router path from ``src`` to ``dst`` under a fixed dimension order.
+
+    ``"xyz"`` resolves planar offsets first and takes the vertical hop last
+    (the default); ``"zxy"`` is vertical-first — natural for ReGraphX's
+    sandwich, where V<->E transfers start with their single TSV hop.
+    Any fixed order is deadlock-free and source-deterministic, so route
+    unions still form multicast trees.
+    """
+    if sorted(order) != ["x", "y", "z"]:
+        raise ValueError(f"order must be a permutation of 'xyz', got {order!r}")
+    if src == dst:
+        return [src]
+    coords = dict(zip("xyz", topo.coords(src)))
+    target = dict(zip("xyz", topo.coords(dst)))
+    path = [src]
+    for axis in order:
+        while coords[axis] != target[axis]:
+            coords[axis] += 1 if target[axis] > coords[axis] else -1
+            path.append(topo.router_id(coords["x"], coords["y"], coords["z"]))
+    return path
+
+
+def xyz_route(topo: Mesh3D, src: int, dst: int) -> list[int]:
+    """Router path from ``src`` to ``dst`` under X, then Y, then Z order."""
+    return dimension_order_route(topo, src, dst, "xyz")
+
+
+def route_links(path: list[int]) -> list[Link]:
+    """Consecutive-router pairs of a path."""
+    return list(zip(path[:-1], path[1:]))
+
+
+def multicast_tree(
+    topo: Mesh3D, src: int, dests: tuple[int, ...], order: str = "xyz"
+) -> dict[Link, Link | None]:
+    """Tree multicast: union of the XYZ routes from ``src`` to each dest.
+
+    Returns a parent map over links: ``tree[link]`` is the upstream link the
+    packet arrives on before being forwarded over ``link`` (``None`` for
+    links leaving the source router).  Deterministic dimension-order routes
+    from one source can never reconverge after diverging, so the union is a
+    tree; a packet crosses every tree link exactly once, duplicating only at
+    branch routers.
+    """
+    if not dests:
+        raise ValueError("multicast needs at least one destination")
+    tree: dict[Link, Link | None] = {}
+    for dst in dests:
+        if dst == src:
+            raise ValueError("multicast destination equals source")
+        path = dimension_order_route(topo, src, dst, order)
+        prev: Link | None = None
+        for link in route_links(path):
+            if link not in tree:
+                tree[link] = prev
+            prev = link
+    return tree
+
+
+def tree_depth_order(tree: dict[Link, Link | None]) -> list[Link]:
+    """Tree links sorted root-outward (parents before children)."""
+    depth: dict[Link, int] = {}
+
+    def _depth(link: Link) -> int:
+        if link not in depth:
+            parent = tree[link]
+            depth[link] = 0 if parent is None else _depth(parent) + 1
+        return depth[link]
+
+    for link in tree:
+        _depth(link)
+    return sorted(tree, key=lambda l: (depth[l], l))

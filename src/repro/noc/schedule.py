@@ -1,0 +1,246 @@
+"""Static conflict-free wormhole schedule analyzer — the paper's NoC model.
+
+Paper Sec. V.A: "The traffic across the NoC is also statically determined
+to ensure conflict-free routing."  This module reproduces that methodology:
+messages are laid out deterministically (in injection order), each packet
+reserves every link on its route for its full flit train, and downstream
+hops begin after the wormhole pipeline delay.  No packet ever waits inside
+the network — conflicts are resolved at schedule time by delaying the
+*start* of a packet until its links free up, which is exactly what a
+statically scheduled NoC does.
+
+Multicast packets traverse their XYZ tree once, forking at branch routers;
+unicast mode replicates one packet per destination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.noc.packet import Message
+from repro.noc.routing import multicast_tree, route_links, tree_depth_order, xyz_route
+from repro.noc.stats import LinkStats
+from repro.noc.topology import Link, Mesh3D
+from repro.utils.units import GHZ, PICO
+
+
+@dataclass(frozen=True)
+class NoCConfig:
+    """NoC microarchitecture parameters.
+
+    Defaults: 400 MHz routers (a low-power NoC clocked ~40x the 10 MHz
+    ReRAM arrays), 32-bit flits, 2-cycle router pipeline + 1-cycle link
+    traversal (a standard low-latency wormhole router), per-flit energies
+    from published 3D NoC budgets (router ~1.5 pJ, planar link
+    ~1.2 pJ/hop, TSV ~0.05 pJ/hop).
+    """
+
+    flit_bits: int = 32
+    clock_hz: float = 0.4 * GHZ
+    router_cycles: int = 2
+    link_cycles: int = 1
+    router_energy_per_flit: float = 1.5 * PICO
+    planar_link_energy_per_flit: float = 1.2 * PICO
+    vertical_link_energy_per_flit: float = 0.05 * PICO
+    local_port_energy_per_flit: float = 0.3 * PICO
+    # Model tile<->router injection/ejection ports: the source tile's
+    # injection link serializes its packets, and a destination's ejection
+    # link serializes everything converging on it (the many-to-one
+    # contention GNN traffic creates).
+    model_local_ports: bool = True
+    # "pipelined": links queue independently with cut-through chaining —
+    # the efficient time-multiplexed schedule a conflict-free static
+    # router would produce.  "atomic": each packet reserves its whole
+    # route/tree for its full duration — a conservative wormhole bound.
+    schedule_mode: str = "pipelined"
+    # Dimension order for deterministic routing: "xyz" (planar first) or
+    # "zxy" (vertical first, natural for the V/E sandwich).
+    routing_order: str = "xyz"
+
+    def __post_init__(self) -> None:
+        if self.flit_bits < 1:
+            raise ValueError("flit width must be positive")
+        if self.clock_hz <= 0:
+            raise ValueError("clock must be positive")
+        if self.router_cycles < 1 or self.link_cycles < 1:
+            raise ValueError("pipeline latencies must be at least one cycle")
+        if self.schedule_mode not in ("pipelined", "atomic"):
+            raise ValueError(
+                f"schedule_mode must be 'pipelined' or 'atomic', "
+                f"got {self.schedule_mode!r}"
+            )
+        if sorted(self.routing_order) != ["x", "y", "z"]:
+            raise ValueError(
+                f"routing_order must be a permutation of 'xyz', "
+                f"got {self.routing_order!r}"
+            )
+
+    @property
+    def cycle_time(self) -> float:
+        return 1.0 / self.clock_hz
+
+    @property
+    def hop_cycles(self) -> int:
+        """Cycles for a flit to progress one hop (router + link)."""
+        return self.router_cycles + self.link_cycles
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of scheduling one message set."""
+
+    makespan_cycles: int
+    message_finish: dict[int, int]  # msg_id -> cycle its last flit arrives
+    link_stats: LinkStats
+    config: NoCConfig
+    tag_finish: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def makespan_seconds(self) -> float:
+        return self.makespan_cycles * self.config.cycle_time
+
+    def tag_finish_seconds(self, tag: str) -> float:
+        """Completion time of all messages carrying ``tag``."""
+        if tag not in self.tag_finish:
+            raise KeyError(f"no messages carried tag {tag!r}")
+        return self.tag_finish[tag] * self.config.cycle_time
+
+    @property
+    def total_flit_hops(self) -> int:
+        return self.link_stats.total_flit_hops
+
+    def energy_joules(self) -> float:
+        """Network energy: every flit-hop pays router + link energy."""
+        cfg = self.config
+        planar = self.link_stats.planar_flit_hops
+        vertical = self.link_stats.vertical_flit_hops
+        local = self.link_stats.local_flit_hops
+        return (
+            (planar + vertical + local) * cfg.router_energy_per_flit
+            + planar * cfg.planar_link_energy_per_flit
+            + vertical * cfg.vertical_link_energy_per_flit
+            + local * cfg.local_port_energy_per_flit
+        )
+
+
+class StaticScheduler:
+    """Deterministic wormhole schedule over a mesh."""
+
+    def __init__(self, topo: Mesh3D, config: NoCConfig | None = None) -> None:
+        self.topo = topo
+        self.config = config or NoCConfig()
+
+    def simulate(self, messages: list[Message], multicast: bool = True) -> ScheduleResult:
+        """Schedule ``messages`` and return timing/energy statistics.
+
+        Args:
+            messages: the transfer set; multi-destination messages use a
+                multicast tree when ``multicast`` is True, otherwise they
+                are expanded into one unicast packet per destination.
+            multicast: select tree-multicast vs. unicast routing.
+        """
+        cfg = self.config
+        link_free: dict[Link, int] = {}
+        stats = LinkStats(self.topo)
+        finish: dict[int, int] = {}
+        tag_finish: dict[str, int] = {}
+        makespan = 0
+
+        ordered = sorted(
+            messages, key=lambda m: (m.inject_cycle, m.src, m.dests, m.msg_id)
+        )
+        for msg in ordered:
+            flits = msg.num_flits(cfg.flit_bits)
+            if multicast or not msg.is_multicast:
+                last = self._schedule_tree(msg, flits, link_free, stats)
+            else:
+                last = 0
+                for dst in msg.dests:
+                    unicast = Message(
+                        src=msg.src,
+                        dests=(dst,),
+                        size_bits=msg.size_bits,
+                        inject_cycle=msg.inject_cycle,
+                        tag=msg.tag,
+                        msg_id=msg.msg_id,
+                    )
+                    last = max(
+                        last, self._schedule_tree(unicast, flits, link_free, stats)
+                    )
+            finish[msg.msg_id] = last
+            makespan = max(makespan, last)
+            if msg.tag:
+                tag_finish[msg.tag] = max(tag_finish.get(msg.tag, 0), last)
+
+        return ScheduleResult(
+            makespan_cycles=makespan,
+            message_finish=finish,
+            link_stats=stats,
+            config=self.config,
+            tag_finish=tag_finish,
+        )
+
+    def _schedule_tree(
+        self,
+        msg: Message,
+        flits: int,
+        link_free: dict[Link, int],
+        stats: LinkStats,
+    ) -> int:
+        """Reserve the (tree of) links for one packet; return finish cycle.
+
+        The head flit leaves the source when every tree link can accept the
+        full flit train without colliding with earlier reservations; each
+        downstream link starts ``hop_cycles`` after its parent (wormhole
+        pipelining).  This keeps the schedule conflict-free without
+        in-network buffering, matching the paper's static methodology.
+        """
+        cfg = self.config
+        tree = multicast_tree(self.topo, msg.src, msg.dests, cfg.routing_order)
+        if cfg.model_local_ports:
+            # Wrap the router tree with the tile<->router port links.
+            inj = self.topo.injection_link(msg.src)
+            wrapped: dict[Link, Link | None] = {inj: None}
+            for link, parent in tree.items():
+                wrapped[link] = parent if parent is not None else inj
+            for dst in msg.dests:
+                last_in = next(l for l in tree if l[1] == dst)
+                wrapped[self.topo.ejection_link(dst)] = last_in
+            tree = wrapped
+        ordered_links = tree_depth_order(tree)
+        depth: dict[Link, int] = {}
+        for link in ordered_links:
+            parent = tree[link]
+            depth[link] = 0 if parent is None else depth[parent] + 1
+        if cfg.schedule_mode == "atomic":
+            # Earliest head-departure so no link conflicts with prior packets.
+            start = msg.inject_cycle
+            for link in ordered_links:
+                earliest = link_free.get(link, 0) - depth[link] * cfg.hop_cycles
+                start = max(start, earliest)
+            last_finish = start
+            for link in ordered_links:
+                link_start = start + depth[link] * cfg.hop_cycles
+                link_free[link] = link_start + flits
+                stats.add(link, flits)
+                last_finish = max(last_finish, link_start + cfg.hop_cycles + flits - 1)
+            return last_finish
+        # Pipelined (cut-through) mode: each link queues independently; a
+        # link may start once its queue frees AND the head has arrived from
+        # the parent link.  Static conflict-free schedules achieve this
+        # time-division of shared links.
+        start_at: dict[Link, int] = {}
+        last_finish = msg.inject_cycle
+        for link in ordered_links:
+            parent = tree[link]
+            head_arrival = (
+                msg.inject_cycle
+                if parent is None
+                else start_at[parent] + cfg.hop_cycles
+            )
+            link_start = max(link_free.get(link, 0), head_arrival)
+            start_at[link] = link_start
+            link_free[link] = link_start + flits
+            stats.add(link, flits)
+            last_finish = max(last_finish, link_start + cfg.hop_cycles + flits - 1)
+        return last_finish

@@ -1,0 +1,179 @@
+"""Flit-level, cycle-stepped wormhole/cut-through simulator.
+
+Used to validate the static schedule analyzer on small traces: for an
+uncontended packet both models give *identical* latencies
+(``hops * hop_cycles + flits - 1`` after injection); under contention the
+dynamic simulator may finish earlier (it interleaves flits where the static
+schedule serializes whole packets), never later.  Tests assert both
+properties.
+
+The model: deterministic XYZ routes, one flit per link per cycle, flits of
+a packet cross each link in order, a flit becomes eligible for the next
+link ``hop_cycles`` after it started crossing the previous one, and a link
+is owned by a single packet from head acquisition until its tail has
+crossed (wormhole ownership with unlimited router buffering, i.e. virtual
+cut-through).  Arbitration is deterministic by message id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.noc.packet import Message
+from repro.noc.routing import dimension_order_route, route_links
+from repro.noc.schedule import NoCConfig
+from repro.noc.stats import LinkStats
+from repro.noc.topology import Link, Mesh3D
+
+
+@dataclass
+class _PacketState:
+    msg: Message
+    route: list[Link]
+    flits: int
+    acquired: int = 0  # links acquired so far
+    crossed: list[int] = field(default_factory=list)  # flits crossed per link
+    cross_time: list[list[int]] = field(default_factory=list)
+    finish_cycle: int | None = None
+
+    def __post_init__(self) -> None:
+        self.crossed = [0] * len(self.route)
+        self.cross_time = [[-1] * self.flits for _ in self.route]
+
+
+@dataclass
+class SimulationResult:
+    """Timing and link statistics from the flit-level simulation."""
+
+    makespan_cycles: int
+    message_finish: dict[int, int]
+    link_stats: LinkStats
+    config: NoCConfig
+
+    @property
+    def makespan_seconds(self) -> float:
+        return self.makespan_cycles * self.config.cycle_time
+
+
+class FlitSimulator:
+    """Cycle-stepped simulator over a mesh (unicast packets).
+
+    Multicast messages are expanded into unicast packets; the static
+    scheduler is the reference model for tree multicast.
+    """
+
+    def __init__(self, topo: Mesh3D, config: NoCConfig | None = None) -> None:
+        self.topo = topo
+        self.config = config or NoCConfig()
+
+    def simulate(self, messages: list[Message], max_cycles: int = 1_000_000) -> SimulationResult:
+        """Run until every packet is delivered (or ``max_cycles`` elapse)."""
+        cfg = self.config
+        packets: list[_PacketState] = []
+        next_id = 0
+        for msg in sorted(messages, key=lambda m: (m.inject_cycle, m.src, m.dests)):
+            for dst in msg.dests:
+                route = route_links(
+                    dimension_order_route(
+                        self.topo, msg.src, dst, cfg.routing_order
+                    )
+                )
+                if cfg.model_local_ports:
+                    route = (
+                        [self.topo.injection_link(msg.src)]
+                        + route
+                        + [self.topo.ejection_link(dst)]
+                    )
+                flits = msg.num_flits(cfg.flit_bits)
+                sub = Message(
+                    src=msg.src,
+                    dests=(dst,),
+                    size_bits=msg.size_bits,
+                    inject_cycle=msg.inject_cycle,
+                    tag=msg.tag,
+                    msg_id=next_id,
+                )
+                packets.append(_PacketState(msg=sub, route=route, flits=flits))
+                next_id += 1
+
+        owner: dict[Link, int] = {}
+        stats = LinkStats(self.topo)
+        pending = set(range(len(packets)))
+        cycle = -1
+        while pending:
+            cycle += 1
+            if cycle > max_cycles:
+                raise RuntimeError(
+                    f"simulation exceeded {max_cycles} cycles with "
+                    f"{len(pending)} packets in flight"
+                )
+            # Phase 1: head-flit link acquisition, deterministic priority.
+            for pid in sorted(pending):
+                pkt = packets[pid]
+                while pkt.acquired < len(pkt.route):
+                    link = pkt.route[pkt.acquired]
+                    if self._head_ready(pkt, pkt.acquired) > cycle:
+                        break
+                    if link in owner:
+                        break
+                    owner[link] = pid
+                    pkt.acquired += 1
+            # Phase 2: flit transfers on owned links.
+            for pid in sorted(pending):
+                pkt = packets[pid]
+                for i in range(pkt.acquired):
+                    f = pkt.crossed[i]
+                    if f >= pkt.flits:
+                        continue
+                    if self._flit_ready(pkt, i, f) > cycle:
+                        continue
+                    pkt.cross_time[i][f] = cycle
+                    pkt.crossed[i] += 1
+                    stats.add(pkt.route[i], 1)
+                    if pkt.crossed[i] == pkt.flits:
+                        del owner[pkt.route[i]]
+            # Phase 3: retire finished packets.
+            done = [
+                pid
+                for pid in pending
+                if packets[pid].crossed and packets[pid].crossed[-1] == packets[pid].flits
+            ]
+            for pid in done:
+                pkt = packets[pid]
+                pkt.finish_cycle = pkt.cross_time[-1][-1] + cfg.hop_cycles
+                pending.discard(pid)
+            # Zero-hop packets cannot exist (Message forbids src == dst).
+
+        finish = {p.msg.msg_id: p.finish_cycle for p in packets if p.finish_cycle is not None}
+        makespan = max(finish.values(), default=0)
+        return SimulationResult(
+            makespan_cycles=makespan,
+            message_finish=finish,
+            link_stats=stats,
+            config=cfg,
+        )
+
+    def _head_ready(self, pkt: _PacketState, hop: int) -> int:
+        """Earliest cycle the head flit can start crossing link ``hop``."""
+        if hop == 0:
+            return pkt.msg.inject_cycle
+        t_prev = pkt.cross_time[hop - 1][0]
+        if t_prev < 0:
+            return 1 << 60  # head has not crossed the previous link yet
+        return t_prev + self.config.hop_cycles
+
+    def _flit_ready(self, pkt: _PacketState, hop: int, flit: int) -> int:
+        """Earliest cycle flit ``flit`` can start crossing link ``hop``."""
+        if hop == 0:
+            upstream = pkt.msg.inject_cycle
+        else:
+            t_prev = pkt.cross_time[hop - 1][flit]
+            if t_prev < 0:
+                return 1 << 60
+            upstream = t_prev + self.config.hop_cycles
+        if flit == 0:
+            return upstream
+        t_before = pkt.cross_time[hop][flit - 1]
+        if t_before < 0:
+            return 1 << 60
+        return max(upstream, t_before + 1)

@@ -1,0 +1,53 @@
+"""Aggregated NoC statistics shared by both performance models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.noc.topology import Link, Mesh3D
+
+
+@dataclass
+class LinkStats:
+    """Per-link flit counts, split planar vs. vertical (TSV)."""
+
+    topo: Mesh3D
+    flits: dict[Link, int] = field(default_factory=dict)
+
+    def add(self, link: Link, count: int) -> None:
+        if count < 0:
+            raise ValueError("flit count must be non-negative")
+        self.flits[link] = self.flits.get(link, 0) + count
+
+    @property
+    def total_flit_hops(self) -> int:
+        return sum(self.flits.values())
+
+    @property
+    def local_flit_hops(self) -> int:
+        """Flits crossing injection/ejection ports."""
+        return sum(c for l, c in self.flits.items() if self.topo.is_local(l))
+
+    @property
+    def planar_flit_hops(self) -> int:
+        return sum(
+            c
+            for l, c in self.flits.items()
+            if not self.topo.is_local(l) and not self.topo.is_vertical(l)
+        )
+
+    @property
+    def vertical_flit_hops(self) -> int:
+        return sum(c for l, c in self.flits.items() if self.topo.is_vertical(l))
+
+    @property
+    def max_link_load(self) -> int:
+        """Flits on the most loaded link — the serialization bottleneck."""
+        return max(self.flits.values(), default=0)
+
+    def utilization(self, makespan_cycles: int) -> float:
+        """Mean per-link occupancy over the schedule window."""
+        if makespan_cycles <= 0:
+            return 0.0
+        num_links = len(self.topo.links())
+        return self.total_flit_hops / (num_links * makespan_cycles)

@@ -1,0 +1,137 @@
+"""ReRAM cell, converter, and fixed-point primitives.
+
+The paper's Table I fixes: 2-bit ReRAM cells, 1-bit DACs, 8-bit ADCs for
+V-PEs and 6-bit ADCs for E-PEs, 10 MHz arrays.  16-bit fixed-point operands
+are realized ISAAC-style: weights are bit-sliced across 8 two-bit cells
+(one per crossbar of the IMA) and inputs are streamed bit-serially through
+the 1-bit DACs over 16 cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """A single ReRAM cell: how many bits one device stores."""
+
+    bits: int = 2
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError(f"cell must store at least one bit, got {self.bits}")
+
+    @property
+    def levels(self) -> int:
+        """Distinct conductance levels the cell resolves."""
+        return 1 << self.bits
+
+
+@dataclass(frozen=True)
+class DACSpec:
+    """Input digital-to-analog converter (drives one crossbar row)."""
+
+    bits: int = 1
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError(f"DAC resolution must be positive, got {self.bits}")
+
+    def cycles_for(self, operand_bits: int) -> int:
+        """Bit-serial cycles to stream an ``operand_bits`` input."""
+        if operand_bits < 1:
+            raise ValueError(f"operand must have at least one bit, got {operand_bits}")
+        return -(-operand_bits // self.bits)  # ceil division
+
+
+@dataclass(frozen=True)
+class ADCSpec:
+    """Column analog-to-digital converter."""
+
+    bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError(f"ADC resolution must be positive, got {self.bits}")
+
+    @property
+    def max_code(self) -> int:
+        return (1 << self.bits) - 1
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """Signed fixed-point format for weights and activations.
+
+    ``total_bits`` includes the sign; ``frac_bits`` is the binary point
+    position.  16-bit operands with 12 fractional bits cover the activation
+    ranges GCN training produces while keeping quantization error small.
+    """
+
+    total_bits: int = 16
+    frac_bits: int = 12
+
+    def __post_init__(self) -> None:
+        if self.total_bits < 2:
+            raise ValueError("need at least a sign and one magnitude bit")
+        if not 0 <= self.frac_bits < self.total_bits:
+            raise ValueError(
+                f"frac_bits must be in [0, {self.total_bits}), got {self.frac_bits}"
+            )
+
+    @property
+    def scale(self) -> float:
+        return float(1 << self.frac_bits)
+
+    @property
+    def max_int(self) -> int:
+        return (1 << (self.total_bits - 1)) - 1
+
+    @property
+    def min_int(self) -> int:
+        return -(1 << (self.total_bits - 1))
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Real values -> integer codes (saturating round-to-nearest)."""
+        codes = np.rint(np.asarray(values, dtype=np.float64) * self.scale)
+        return np.clip(codes, self.min_int, self.max_int).astype(np.int64)
+
+    def dequantize(self, codes: np.ndarray) -> np.ndarray:
+        """Integer codes -> real values."""
+        return np.asarray(codes, dtype=np.float64) / self.scale
+
+    def round_trip(self, values: np.ndarray) -> np.ndarray:
+        """Quantize then dequantize (the representable approximation)."""
+        return self.dequantize(self.quantize(values))
+
+    def slice_bits(self, codes: np.ndarray, bits_per_slice: int) -> list[np.ndarray]:
+        """Split integer codes into little-endian unsigned bit-slices.
+
+        Negative codes are represented in two's complement over
+        ``total_bits``, matching how ISAAC distributes a signed weight
+        across unsigned conductance slices (the sign is restored digitally
+        after the shift-and-add).
+
+        Returns ``ceil(total_bits / bits_per_slice)`` arrays of slice codes
+        in ``[0, 2**bits_per_slice)``.
+        """
+        if bits_per_slice < 1:
+            raise ValueError(f"bits_per_slice must be positive, got {bits_per_slice}")
+        unsigned = np.asarray(codes, dtype=np.int64) & ((1 << self.total_bits) - 1)
+        num_slices = -(-self.total_bits // bits_per_slice)
+        mask = (1 << bits_per_slice) - 1
+        return [
+            (unsigned >> (bits_per_slice * i)) & mask for i in range(num_slices)
+        ]
+
+    def combine_slices(self, slices: list[np.ndarray], bits_per_slice: int) -> np.ndarray:
+        """Inverse of :meth:`slice_bits` — shift-and-add, then sign-extend."""
+        total = np.zeros_like(np.asarray(slices[0], dtype=np.int64))
+        for i, s in enumerate(slices):
+            total = total + (np.asarray(s, dtype=np.int64) << (bits_per_slice * i))
+        total &= (1 << self.total_bits) - 1
+        sign_bit = 1 << (self.total_bits - 1)
+        return (total ^ sign_bit) - sign_bit  # sign extension

@@ -1,0 +1,92 @@
+"""Functional model of one analog ReRAM MAC crossbar.
+
+A crossbar stores one unsigned bit-slice of a weight block as cell
+conductances and computes, per cycle, the analog dot product of a 1-bit
+input wave with every stored column.  The IMA (one level up) owns the
+shift-and-add that reassembles full-precision results from the eight
+2-bit slices and the sixteen input bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.reram.cells import CellSpec
+
+
+class Crossbar:
+    """An ``rows x cols`` array of multi-bit ReRAM cells.
+
+    The stored matrix holds unsigned integer cell codes in
+    ``[0, cell.levels)``.  ``mac_wave`` applies a binary input vector
+    (one DAC bit per row) and returns the ideal analog column sums —
+    the quantity the column ADCs digitize.
+    """
+
+    def __init__(self, rows: int, cols: int, cell: CellSpec | None = None) -> None:
+        if rows < 1 or cols < 1:
+            raise ValueError(f"crossbar dimensions must be positive, got {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+        self.cell = cell or CellSpec()
+        self._conductance = np.zeros((rows, cols), dtype=np.int64)
+        self.write_count = 0  # total cell writes (writes are slow + wear out)
+        self.read_count = 0  # total MAC waves executed
+
+    @property
+    def num_cells(self) -> int:
+        return self.rows * self.cols
+
+    def program(self, codes: np.ndarray) -> None:
+        """Write a full block of cell codes (one weight bit-slice)."""
+        codes = np.asarray(codes, dtype=np.int64)
+        if codes.shape != (self.rows, self.cols):
+            raise ValueError(
+                f"program shape {codes.shape} does not match crossbar "
+                f"{self.rows}x{self.cols}"
+            )
+        if codes.min() < 0 or codes.max() >= self.cell.levels:
+            raise ValueError(
+                f"cell codes must lie in [0, {self.cell.levels}), "
+                f"got range [{codes.min()}, {codes.max()}]"
+            )
+        self._conductance = codes.copy()
+        self.write_count += self.num_cells
+
+    def program_partial(self, row: int, col: int, block: np.ndarray) -> None:
+        """Write a sub-block with top-left corner at ``(row, col)``."""
+        block = np.asarray(block, dtype=np.int64)
+        if row < 0 or col < 0 or row + block.shape[0] > self.rows or col + block.shape[1] > self.cols:
+            raise ValueError("partial program exceeds crossbar bounds")
+        if block.min() < 0 or block.max() >= self.cell.levels:
+            raise ValueError("cell code out of range")
+        self._conductance[row:row + block.shape[0], col:col + block.shape[1]] = block
+        self.write_count += block.size
+
+    def stored(self) -> np.ndarray:
+        """Copy of the stored cell codes."""
+        return self._conductance.copy()
+
+    def mac_wave(self, input_bits: np.ndarray) -> np.ndarray:
+        """One analog MAC wave: binary row drive -> integer column sums.
+
+        Args:
+            input_bits: ``(rows,)`` array of 0/1 DAC outputs.
+
+        Returns:
+            ``(cols,)`` integer column sums (ideal ADC inputs); maximum
+            possible value is ``rows * (levels - 1)``.
+        """
+        input_bits = np.asarray(input_bits, dtype=np.int64)
+        if input_bits.shape != (self.rows,):
+            raise ValueError(
+                f"input shape {input_bits.shape} does not match rows {self.rows}"
+            )
+        if np.any((input_bits != 0) & (input_bits != 1)):
+            raise ValueError("DAC drive must be binary (1-bit DACs, Table I)")
+        self.read_count += 1
+        return input_bits @ self._conductance
+
+    def zero_cells(self) -> int:
+        """Number of cells currently storing zero (wasted on sparsity)."""
+        return int((self._conductance == 0).sum())

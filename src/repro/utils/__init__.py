@@ -1,0 +1,34 @@
+"""Shared utilities: deterministic RNG handling, unit helpers, formatting."""
+
+from repro.utils.rng import rng_from_seed, spawn_rngs
+from repro.utils.units import (
+    GHZ,
+    GIGA,
+    KILO,
+    MEGA,
+    MHZ,
+    MICRO,
+    MILLI,
+    NANO,
+    PICO,
+    TERA,
+    format_seconds,
+    format_si,
+)
+
+__all__ = [
+    "rng_from_seed",
+    "spawn_rngs",
+    "KILO",
+    "MEGA",
+    "GIGA",
+    "TERA",
+    "MILLI",
+    "MICRO",
+    "NANO",
+    "PICO",
+    "MHZ",
+    "GHZ",
+    "format_si",
+    "format_seconds",
+]

@@ -1,0 +1,50 @@
+"""Shared fixtures: small deterministic graphs and workloads.
+
+Session-scoped where construction is expensive; tests must not mutate them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.accelerator import ReGraphX, Workload
+from repro.graph.datasets import load_dataset
+from repro.graph.generators import powerlaw_community_graph, random_features_and_labels
+from repro.graph.graph import CSRGraph
+from repro.graph.partition import partition_graph
+
+
+@pytest.fixture(scope="session")
+def small_graph() -> CSRGraph:
+    """~400-node community graph with features/labels."""
+    graph = powerlaw_community_graph(
+        num_nodes=400, num_edges=2400, num_communities=8, mixing=0.1, seed=11
+    )
+    return random_features_and_labels(graph, feature_dim=16, num_classes=8, seed=11)
+
+
+@pytest.fixture(scope="session")
+def tiny_graph() -> CSRGraph:
+    """A fixed 8-node graph with a known edge list."""
+    edges = np.array(
+        [[0, 1], [1, 2], [2, 3], [3, 0], [4, 5], [5, 6], [6, 7], [7, 4], [0, 4]]
+    )
+    return CSRGraph.from_edges(8, edges, name="tiny")
+
+
+@pytest.fixture(scope="session")
+def small_partition(small_graph):
+    return partition_graph(small_graph, 8, seed=3)
+
+
+@pytest.fixture(scope="session")
+def accelerator() -> ReGraphX:
+    return ReGraphX()
+
+
+@pytest.fixture(scope="session")
+def ppi_workload(accelerator) -> Workload:
+    """A PPI-like workload at the documented experiment scale (0.1), where
+    per-input sub-graph statistics match the full Table II dataset."""
+    return accelerator.build_workload("ppi", scale=0.1, seed=0)

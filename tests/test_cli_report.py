@@ -1,0 +1,61 @@
+"""Tests for the CLI entry point and the markdown report writer."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.experiments.report import PAPER_CLAIMS, write_report
+
+
+class TestCLI:
+    def test_parser_commands(self):
+        parser = build_parser()
+        for argv in (
+            ["info"],
+            ["experiments", "fig3"],
+            ["evaluate", "ppi"],
+            ["thermal"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+    def test_info_runs(self, capsys):
+        main(["info"])
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Table II" in out
+
+    def test_experiments_subset(self, capsys):
+        main(["experiments", "table1"])
+        out = capsys.readouterr().out
+        assert "128x128" in out
+
+    def test_evaluate_runs(self, capsys):
+        main(["evaluate", "ppi", "--scale", "0.05"])
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "epoch time" in out
+
+    def test_thermal_runs(self, capsys):
+        main(["thermal"])
+        out = capsys.readouterr().out
+        assert "per-tier temp" in out
+        assert "feasible" in out
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["evaluate", "cora"])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestReport:
+    def test_write_report(self, tmp_path):
+        path = write_report(tmp_path / "report.md", seed=0, fig5_epochs=3)
+        text = path.read_text()
+        for section in ("Fig. 3", "Fig. 5", "Fig. 6", "Fig. 7", "Fig. 8"):
+            assert section in text
+        for claim in PAPER_CLAIMS.values():
+            assert claim in text
+        assert "speedup" in text

@@ -1,0 +1,81 @@
+"""Unit tests for design-space exploration."""
+
+import pytest
+
+from repro.core.dse import DesignPoint, pareto_front, sweep_mesh, sweep_tiers
+
+
+def make_point(label, time, energy, temp):
+    from repro.core.config import ReGraphXConfig
+
+    return DesignPoint(
+        label=label,
+        config=ReGraphXConfig(),
+        epoch_seconds=time,
+        epoch_energy_joules=energy,
+        peak_celsius=temp,
+        thermally_feasible=temp < 105,
+    )
+
+
+class TestParetoFront:
+    def test_dominated_point_removed(self):
+        a = make_point("good", 1.0, 1.0, 50.0)
+        b = make_point("bad", 2.0, 2.0, 60.0)
+        assert pareto_front([a, b]) == [a]
+
+    def test_tradeoff_points_kept(self):
+        a = make_point("fast-hot", 1.0, 2.0, 90.0)
+        b = make_point("slow-cool", 2.0, 1.0, 60.0)
+        assert set(p.label for p in pareto_front([a, b])) == {"fast-hot", "slow-cool"}
+
+    def test_identical_points_both_kept(self):
+        a = make_point("a", 1.0, 1.0, 50.0)
+        b = make_point("b", 1.0, 1.0, 50.0)
+        assert len(pareto_front([a, b])) == 2
+
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+    def test_edp_property(self):
+        assert make_point("x", 2.0, 3.0, 50.0).edp == pytest.approx(6.0)
+
+
+class TestTierSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return sweep_tiers([2, 3, 5], workload_dataset="ppi", scale=0.05, seed=0)
+
+    def test_one_point_per_tier_count(self, points):
+        assert [p.label for p in points] == ["2-tier", "3-tier", "5-tier"]
+
+    def test_more_tiers_hotter(self, points):
+        temps = [p.peak_celsius for p in points]
+        assert temps == sorted(temps)
+
+    def test_more_tiers_more_e_capacity(self, points):
+        capacities = [p.config.num_e_crossbars for p in points]
+        assert capacities == sorted(capacities)
+        assert capacities[0] < capacities[-1]
+
+    def test_paper_design_point_feasible(self, points):
+        three_tier = points[1]
+        assert three_tier.thermally_feasible
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sweep_tiers([])
+        with pytest.raises(ValueError):
+            sweep_tiers([1])
+
+
+class TestMeshSweep:
+    def test_mesh_sweep_runs(self):
+        points = sweep_mesh([8], workload_dataset="ppi", scale=0.05, seed=0)
+        assert len(points) == 1
+        assert points[0].label == "8x8"
+        assert points[0].epoch_seconds > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sweep_mesh([])

@@ -1,0 +1,188 @@
+"""Unit tests for GNN traffic extraction and the pipeline model."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ReGraphXConfig
+from repro.core.mapping import contiguous_mapping, stage_names
+from repro.core.pipeline import PipelineModel, PipelineTiming, StageCost
+from repro.core.traffic import GNNTrafficModel, _grid_shape
+
+
+@pytest.fixture(scope="module")
+def traffic_model(accelerator, ppi_workload):
+    sm = contiguous_mapping(accelerator.config)
+    return GNNTrafficModel(
+        accelerator.config,
+        sm,
+        ppi_workload.block_mapping,
+        ppi_workload.num_nodes_per_input,
+        ppi_workload.layer_dims,
+    )
+
+
+class TestGridShape:
+    def test_square(self):
+        assert _grid_shape(16) == (4, 4)
+
+    def test_rect(self):
+        assert _grid_shape(8) == (2, 4)
+
+    def test_prime(self):
+        assert _grid_shape(7) == (1, 7)
+
+
+class TestTrafficModel:
+    def test_messages_valid(self, traffic_model):
+        msgs = traffic_model.messages()
+        assert len(msgs) > 100
+        ids = [m.msg_id for m in msgs]
+        assert len(set(ids)) == len(ids)
+
+    def test_sources_and_dests_live_on_assigned_stages(
+        self, traffic_model, accelerator
+    ):
+        sm = traffic_model.stage_map
+        stage_routers = {s: set(sm.routers(s)) for s in sm.stages}
+        for msg in traffic_model.messages():
+            src_stage, dst_stage = msg.tag.split("->")
+            assert msg.src in stage_routers[src_stage], msg.tag
+            if src_stage != dst_stage and not dst_stage.startswith("V"):
+                # Pure E-type destination legs (masks, gradients, reductions).
+                allowed = stage_routers[dst_stage]
+                assert set(msg.dests) <= allowed, msg.tag
+
+    def test_v_to_e_volume_conservation(self, traffic_model, ppi_workload):
+        """Every updated feature row is shipped exactly once: the V1->E1 leg
+        carries n x dout x 16 bits in total."""
+        msgs = [m for m in traffic_model.messages() if m.tag == "V1->E1"]
+        total = sum(m.size_bits for m in msgs)
+        n = ppi_workload.num_nodes_per_input
+        dout = ppi_workload.layer_dims[0][1]
+        # Rows whose block-column group is empty are never shipped.
+        covered_rows = sum(
+            min((int(g) + 1) * 8, n) - int(g) * 8
+            for g in traffic_model._index.occupied_cols
+        )
+        assert total == covered_rows * dout * 16
+
+    def test_all_expected_legs_present(self, traffic_model, accelerator):
+        tags = {m.tag for m in traffic_model.messages()}
+        L = accelerator.config.num_layers
+        for i in range(1, L + 1):
+            assert f"V{i}->E{i}" in tags
+            assert f"E{i}->E{i}" in tags  # partial-sum reduction
+            assert f"E{i}->BE{i}" in tags
+            assert f"BE{i}->BV{i}" in tags
+            if i < L:
+                assert f"E{i}->V{i + 1}" in tags
+            if i > 1:
+                assert f"BV{i}->BE{i - 1}" in tags
+
+    def test_multicast_degree_bounded_by_grid(self, traffic_model):
+        """Input-distribution legs multicast to at most grid-column size."""
+        a, _ = _grid_shape(16)
+        for msg in traffic_model.messages():
+            if msg.tag.startswith("V") and "->E" in msg.tag:
+                assert len(msg.dests) <= a
+
+    def test_e_rounds_scales_input_legs(self, accelerator, ppi_workload):
+        sm = contiguous_mapping(accelerator.config)
+        kwargs = dict(
+            config=accelerator.config,
+            stage_map=sm,
+            block_mapping=ppi_workload.block_mapping,
+            num_nodes=ppi_workload.num_nodes_per_input,
+            layer_dims=ppi_workload.layer_dims,
+        )
+        base = GNNTrafficModel(**kwargs).leg_volumes()
+        doubled = GNNTrafficModel(**kwargs, e_rounds=2).leg_volumes()
+        assert doubled[("V1", "E1")] == 2 * base[("V1", "E1")]
+        # Output legs are delivered once regardless of rounds.
+        assert doubled[("E1", "V2")] == base[("E1", "V2")]
+
+    def test_leg_volumes_positive(self, traffic_model):
+        for leg, volume in traffic_model.leg_volumes().items():
+            assert volume > 0, leg
+
+    def test_multicast_degree_diagnostic(self, traffic_model):
+        degree = traffic_model.multicast_degree()
+        assert 1.0 <= degree <= 16.0
+
+    def test_deterministic(self, traffic_model, accelerator, ppi_workload):
+        again = GNNTrafficModel(
+            accelerator.config,
+            traffic_model.stage_map,
+            ppi_workload.block_mapping,
+            ppi_workload.num_nodes_per_input,
+            ppi_workload.layer_dims,
+        )
+        a = [(m.src, m.dests, m.size_bits, m.tag) for m in traffic_model.messages()]
+        b = [(m.src, m.dests, m.size_bits, m.tag) for m in again.messages()]
+        assert a == b
+
+    def test_validation(self, accelerator, ppi_workload):
+        sm = contiguous_mapping(accelerator.config)
+        with pytest.raises(ValueError, match="layer dims"):
+            GNNTrafficModel(
+                accelerator.config, sm, ppi_workload.block_mapping, 10, [(4, 4)]
+            )
+        with pytest.raises(ValueError, match="node"):
+            GNNTrafficModel(
+                accelerator.config,
+                sm,
+                ppi_workload.block_mapping,
+                0,
+                ppi_workload.layer_dims,
+            )
+
+
+class TestPipelineModel:
+    def test_stage_order(self):
+        model = PipelineModel(4)
+        assert model.stage_order == stage_names(4)
+
+    def test_period_is_max_bound(self):
+        model = PipelineModel(1)
+        timing = model.timing(
+            compute={"V1": 1.0, "E1": 3.0},
+            communication={"V1": 2.0, "BE1": 2.5},
+            num_inputs=10,
+        )
+        assert timing.period == 3.0
+        assert timing.bottleneck.name == "E1"
+
+    def test_epoch_formula(self):
+        model = PipelineModel(1)  # 4 stages
+        timing = model.timing({"V1": 2.0}, {}, num_inputs=10)
+        assert timing.epoch_seconds == pytest.approx(2.0 * (10 + 3))
+
+    def test_worst_compute_and_comm(self):
+        model = PipelineModel(1)
+        timing = model.timing(
+            {"V1": 1.0, "E1": 5.0}, {"BV1": 7.0}, num_inputs=2
+        )
+        assert timing.worst_compute == 5.0
+        assert timing.worst_communication == 7.0
+
+    def test_utilization(self):
+        model = PipelineModel(1)
+        timing = model.timing({"V1": 1.0}, {}, num_inputs=4)
+        # 4 inputs x 4 stages useful over (4+3) x 4 slots.
+        assert timing.steady_state_utilization == pytest.approx(16 / 28)
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            PipelineModel(1).timing({"V9": 1.0}, {}, 1)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            StageCost("V1", -1.0, 0.0)
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineTiming(stages=(), num_inputs=1)
+
+    def test_zero_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineModel(1).timing({}, {}, 0)

@@ -1,0 +1,193 @@
+"""Unit tests for GCN layers and the full model, including gradient checks."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.gnn.layers import GCNLayer
+from repro.gnn.model import GCN
+from repro.gnn.ops import softmax_cross_entropy
+
+
+def make_a_hat(n: int, seed: int = 0) -> sparse.csr_matrix:
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((n, n)) < 0.3).astype(float)
+    dense = np.maximum(dense, dense.T)
+    np.fill_diagonal(dense, 1.0)
+    deg = dense.sum(axis=1)
+    d_inv = np.diag(1.0 / np.sqrt(deg))
+    return sparse.csr_matrix(d_inv @ dense @ d_inv)
+
+
+class TestGCNLayer:
+    def test_forward_shape(self):
+        layer = GCNLayer(weight=np.random.default_rng(0).normal(size=(6, 4)))
+        a_hat = make_a_hat(10)
+        out = layer.forward(a_hat, np.random.default_rng(1).normal(size=(10, 6)))
+        assert out.shape == (10, 4)
+
+    def test_relu_clips_negative(self):
+        layer = GCNLayer(weight=-np.eye(3))
+        a_hat = sparse.identity(4, format="csr")
+        out = layer.forward(a_hat, np.ones((4, 3)))
+        assert np.all(out == 0)
+
+    def test_linear_activation_passthrough(self):
+        layer = GCNLayer(weight=np.eye(3), activation="linear")
+        a_hat = sparse.identity(4, format="csr")
+        x = np.random.default_rng(0).normal(size=(4, 3))
+        assert np.allclose(layer.forward(a_hat, x), x)
+
+    def test_forward_is_a_hat_x_w(self):
+        rng = np.random.default_rng(2)
+        w = rng.normal(size=(5, 3))
+        layer = GCNLayer(weight=w, activation="linear")
+        a_hat = make_a_hat(7, seed=2)
+        x = rng.normal(size=(7, 5))
+        assert np.allclose(layer.forward(a_hat, x), a_hat @ (x @ w))
+
+    def test_backward_before_forward_raises(self):
+        layer = GCNLayer(weight=np.eye(2))
+        with pytest.raises(RuntimeError, match="backward"):
+            layer.backward(np.zeros((3, 2)))
+
+    def test_backward_shape_checked(self):
+        layer = GCNLayer(weight=np.eye(2))
+        layer.forward(sparse.identity(3, format="csr"), np.ones((3, 2)))
+        with pytest.raises(ValueError, match="grad_out"):
+            layer.backward(np.zeros((4, 2)))
+
+    def test_input_width_checked(self):
+        layer = GCNLayer(weight=np.eye(2))
+        with pytest.raises(ValueError, match="width"):
+            layer.forward(sparse.identity(3, format="csr"), np.ones((3, 5)))
+
+    def test_bad_activation_rejected(self):
+        with pytest.raises(ValueError, match="activation"):
+            GCNLayer(weight=np.eye(2), activation="tanh")
+
+    def test_weight_gradient_numerical(self):
+        """Full numerical gradient check of one layer through a loss."""
+        rng = np.random.default_rng(3)
+        n, din, dout = 6, 4, 3
+        a_hat = make_a_hat(n, seed=3)
+        x = rng.normal(size=(n, din))
+        labels = rng.integers(0, dout, size=n)
+        w = rng.normal(size=(din, dout)) * 0.5
+
+        def loss_at(weight):
+            layer = GCNLayer(weight=weight.copy(), activation="relu")
+            out = layer.forward(a_hat, x)
+            loss, _ = softmax_cross_entropy(out, labels)
+            return loss
+
+        layer = GCNLayer(weight=w.copy(), activation="relu")
+        out = layer.forward(a_hat, x)
+        _, grad_out = softmax_cross_entropy(out, labels)
+        grad_w, _ = layer.backward(grad_out)
+
+        eps = 1e-6
+        for i in range(din):
+            for j in range(dout):
+                bumped = w.copy()
+                bumped[i, j] += eps
+                up = loss_at(bumped)
+                bumped[i, j] -= 2 * eps
+                down = loss_at(bumped)
+                numeric = (up - down) / (2 * eps)
+                assert grad_w[i, j] == pytest.approx(numeric, abs=1e-5)
+
+    def test_input_gradient_numerical(self):
+        rng = np.random.default_rng(4)
+        n, din, dout = 5, 3, 4
+        a_hat = make_a_hat(n, seed=4)
+        x = rng.normal(size=(n, din))
+        labels = rng.integers(0, dout, size=n)
+        w = rng.normal(size=(din, dout)) * 0.5
+        layer = GCNLayer(weight=w, activation="relu")
+        out = layer.forward(a_hat, x)
+        _, grad_out = softmax_cross_entropy(out, labels)
+        _, grad_x = layer.backward(grad_out)
+
+        eps = 1e-6
+        for i in range(n):
+            for j in range(din):
+                bumped = x.copy()
+                bumped[i, j] += eps
+                up, _ = softmax_cross_entropy(layer.forward(a_hat, bumped), labels)
+                bumped[i, j] -= 2 * eps
+                down, _ = softmax_cross_entropy(layer.forward(a_hat, bumped), labels)
+                numeric = (up - down) / (2 * eps)
+                assert grad_x[i, j] == pytest.approx(numeric, abs=1e-5)
+
+
+class TestGCNModel:
+    def test_layer_dims(self):
+        model = GCN(feature_dim=10, hidden_dim=8, num_classes=3, num_layers=4, seed=0)
+        assert model.layer_dims == [(10, 8), (8, 8), (8, 8), (8, 3)]
+
+    def test_last_layer_linear_others_relu(self):
+        model = GCN(5, 4, 3, num_layers=3, seed=0)
+        assert [l.activation for l in model.layers] == ["relu", "relu", "linear"]
+
+    def test_num_parameters(self):
+        model = GCN(10, 8, 3, num_layers=2, seed=0)
+        assert model.num_parameters() == 10 * 8 + 8 * 3
+
+    def test_forward_shape(self):
+        model = GCN(6, 4, 3, num_layers=2, seed=0)
+        a_hat = make_a_hat(9)
+        logits = model.forward(a_hat, np.random.default_rng(0).normal(size=(9, 6)))
+        assert logits.shape == (9, 3)
+
+    def test_single_layer_model(self):
+        model = GCN(6, 4, 3, num_layers=1, seed=0)
+        assert model.layer_dims == [(6, 3)]
+
+    def test_rejects_zero_layers(self):
+        with pytest.raises(ValueError):
+            GCN(6, 4, 3, num_layers=0)
+
+    def test_model_gradient_numerical(self):
+        """End-to-end gradient check through a 2-layer GCN."""
+        rng = np.random.default_rng(5)
+        n = 6
+        a_hat = make_a_hat(n, seed=5)
+        x = rng.normal(size=(n, 4))
+        labels = rng.integers(0, 3, size=n)
+        model = GCN(4, 5, 3, num_layers=2, seed=7)
+        loss, grads, _ = model.loss_and_gradients(a_hat, x, labels)
+        assert loss > 0
+
+        eps = 1e-6
+        for layer_idx, layer in enumerate(model.layers):
+            w = layer.weight
+            for i in range(w.shape[0]):
+                for j in range(w.shape[1]):
+                    orig = w[i, j]
+                    w[i, j] = orig + eps
+                    up, _, _ = model.loss_and_gradients(a_hat, x, labels)
+                    w[i, j] = orig - eps
+                    down, _, _ = model.loss_and_gradients(a_hat, x, labels)
+                    w[i, j] = orig
+                    numeric = (up - down) / (2 * eps)
+                    assert grads[layer_idx][i, j] == pytest.approx(
+                        numeric, abs=1e-5
+                    ), f"layer {layer_idx} weight ({i},{j})"
+
+    def test_predict_shapes(self):
+        model = GCN(6, 4, 3, num_layers=2, seed=0)
+        a_hat = make_a_hat(9)
+        x = np.random.default_rng(0).normal(size=(9, 6))
+        preds = model.predict(a_hat, x)
+        probs = model.predict_proba(a_hat, x)
+        assert preds.shape == (9,)
+        assert probs.shape == (9, 3)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert np.array_equal(preds, probs.argmax(axis=1))
+
+    def test_deterministic_init(self):
+        m1 = GCN(6, 4, 3, seed=2)
+        m2 = GCN(6, 4, 3, seed=2)
+        for w1, w2 in zip(m1.parameters(), m2.parameters()):
+            assert np.array_equal(w1, w2)

@@ -1,0 +1,143 @@
+"""Unit tests for GNN primitive operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+from scipy import sparse
+
+from repro.gnn.ops import (
+    glorot_init,
+    relu,
+    relu_grad,
+    softmax,
+    softmax_cross_entropy,
+    spmm,
+)
+
+finite_floats = st.floats(-50, 50, allow_nan=False, allow_infinity=False)
+
+
+class TestActivations:
+    def test_relu_values(self):
+        x = np.array([-2.0, 0.0, 3.0])
+        assert np.array_equal(relu(x), [0.0, 0.0, 3.0])
+
+    def test_relu_grad_values(self):
+        x = np.array([-2.0, 0.0, 3.0])
+        assert np.array_equal(relu_grad(x), [0.0, 0.0, 1.0])
+
+    @given(arrays(np.float64, (4, 3), elements=finite_floats))
+    @settings(max_examples=30)
+    def test_relu_nonnegative_and_idempotent(self, x):
+        y = relu(x)
+        assert np.all(y >= 0)
+        assert np.array_equal(relu(y), y)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        logits = np.array([[1.0, 2.0, 3.0], [0.0, 0.0, 0.0]])
+        probs = softmax(logits)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_shift_invariance(self):
+        logits = np.random.default_rng(0).normal(size=(5, 4))
+        assert np.allclose(softmax(logits), softmax(logits + 100.0))
+
+    def test_numerically_stable_for_large_logits(self):
+        probs = softmax(np.array([[1e4, 0.0]]))
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(1.0)
+
+    @given(arrays(np.float64, (3, 5), elements=finite_floats))
+    @settings(max_examples=30)
+    def test_softmax_is_distribution(self, logits):
+        probs = softmax(logits)
+        assert np.all(probs >= 0)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss, _ = softmax_cross_entropy(logits, np.array([0, 1]))
+        assert loss < 1e-6
+
+    def test_uniform_prediction_loss(self):
+        logits = np.zeros((4, 3))
+        loss, _ = softmax_cross_entropy(logits, np.array([0, 1, 2, 0]))
+        assert loss == pytest.approx(np.log(3))
+
+    def test_gradient_matches_numerical(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(5, 4))
+        labels = rng.integers(0, 4, size=5)
+        _, grad = softmax_cross_entropy(logits, labels)
+        eps = 1e-6
+        for i in range(5):
+            for j in range(4):
+                bumped = logits.copy()
+                bumped[i, j] += eps
+                up, _ = softmax_cross_entropy(bumped, labels)
+                bumped[i, j] -= 2 * eps
+                down, _ = softmax_cross_entropy(bumped, labels)
+                assert grad[i, j] == pytest.approx((up - down) / (2 * eps), abs=1e-5)
+
+    def test_mask_zeroes_gradient(self):
+        logits = np.random.default_rng(0).normal(size=(4, 3))
+        labels = np.array([0, 1, 2, 0])
+        mask = np.array([True, False, True, False])
+        _, grad = softmax_cross_entropy(logits, labels, mask)
+        assert np.all(grad[~mask] == 0)
+        assert np.any(grad[mask] != 0)
+
+    def test_empty_mask(self):
+        logits = np.zeros((3, 2))
+        loss, grad = softmax_cross_entropy(logits, np.zeros(3, dtype=int), np.zeros(3, bool))
+        assert loss == 0.0
+        assert np.all(grad == 0)
+
+    def test_gradient_rows_sum_to_zero(self):
+        rng = np.random.default_rng(2)
+        logits = rng.normal(size=(6, 5))
+        labels = rng.integers(0, 5, size=6)
+        _, grad = softmax_cross_entropy(logits, labels)
+        assert np.allclose(grad.sum(axis=1), 0.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.zeros((3, 2)), np.zeros(4, dtype=int))
+
+    def test_label_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.zeros((2, 2)), np.array([0, 5]))
+
+
+class TestGlorot:
+    def test_shape_and_range(self):
+        w = glorot_init(30, 20, seed=0)
+        limit = np.sqrt(6.0 / 50)
+        assert w.shape == (30, 20)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_deterministic(self):
+        assert np.array_equal(glorot_init(5, 5, seed=1), glorot_init(5, 5, seed=1))
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            glorot_init(0, 5)
+
+
+class TestSpmm:
+    def test_matches_dense(self):
+        rng = np.random.default_rng(0)
+        a = sparse.random(10, 10, density=0.3, random_state=0, format="csr")
+        x = rng.normal(size=(10, 4))
+        assert np.allclose(spmm(a, x), a.toarray() @ x)
+
+    def test_shape_mismatch_rejected(self):
+        a = sparse.identity(4, format="csr")
+        with pytest.raises(ValueError):
+            spmm(a, np.zeros((5, 2)))

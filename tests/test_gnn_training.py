@@ -1,0 +1,168 @@
+"""Unit tests for the optimizer, metrics, and Cluster-GCN trainer."""
+
+import numpy as np
+import pytest
+
+from repro.gnn.metrics import accuracy, macro_f1, micro_f1
+from repro.gnn.model import GCN
+from repro.gnn.training import Adam, ClusterGCNTrainer, EpochStats, TrainingHistory
+from repro.graph.clustering import ClusterBatcher
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        x = np.array([5.0])
+        opt = Adam([x], lr=0.1)
+        for _ in range(300):
+            opt.step([2 * x])  # gradient of x^2
+        assert abs(x[0]) < 0.05
+
+    def test_first_step_size_is_lr(self):
+        """Adam's bias correction makes the first step exactly lr-sized."""
+        x = np.array([1.0])
+        opt = Adam([x], lr=0.01)
+        opt.step([np.array([42.0])])
+        assert x[0] == pytest.approx(1.0 - 0.01, abs=1e-6)
+
+    def test_weight_decay_shrinks(self):
+        x = np.array([10.0])
+        opt = Adam([x], lr=0.1, weight_decay=1.0)
+        for _ in range(200):
+            opt.step([np.zeros(1)])
+        assert abs(x[0]) < 1.0
+
+    def test_updates_in_place(self):
+        x = np.ones((2, 2))
+        ref = x
+        opt = Adam([x], lr=0.1)
+        opt.step([np.ones((2, 2))])
+        assert ref is x
+        assert not np.allclose(x, 1.0)
+
+    def test_gradient_count_checked(self):
+        opt = Adam([np.ones(2)])
+        with pytest.raises(ValueError, match="gradients"):
+            opt.step([])
+
+    def test_gradient_shape_checked(self):
+        opt = Adam([np.ones(2)])
+        with pytest.raises(ValueError, match="shape"):
+            opt.step([np.ones(3)])
+
+    def test_rejects_bad_hyperparams(self):
+        with pytest.raises(ValueError):
+            Adam([np.ones(1)], lr=0.0)
+        with pytest.raises(ValueError):
+            Adam([np.ones(1)], beta1=1.0)
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy(np.array([1, 2, 3]), np.array([1, 2, 0])) == pytest.approx(2 / 3)
+
+    def test_micro_f1_equals_accuracy_single_label(self):
+        rng = np.random.default_rng(0)
+        preds = rng.integers(0, 5, 100)
+        labels = rng.integers(0, 5, 100)
+        assert micro_f1(preds, labels) == pytest.approx(accuracy(preds, labels))
+
+    def test_macro_f1_perfect(self):
+        labels = np.array([0, 1, 2, 0, 1, 2])
+        assert macro_f1(labels, labels) == 1.0
+
+    def test_macro_f1_penalizes_rare_class_errors(self):
+        labels = np.array([0] * 9 + [1])
+        preds = np.zeros(10, dtype=int)  # never predicts the rare class
+        assert accuracy(preds, labels) == pytest.approx(0.9)
+        assert macro_f1(preds, labels) < 0.5
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros(3), np.zeros(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+
+class TestTrainingHistory:
+    def make(self, accs):
+        h = TrainingHistory()
+        for i, a in enumerate(accs):
+            h.append(EpochStats(i, 0.5, a, a))
+        return h
+
+    def test_final_accuracy(self):
+        assert self.make([0.1, 0.9]).final_val_accuracy == 0.9
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            _ = TrainingHistory().final_val_accuracy
+
+    def test_stability_flat(self):
+        assert self.make([0.9] * 10).stability() == 0.0
+
+    def test_stability_detects_drop(self):
+        assert self.make([0.9, 0.9, 0.5, 0.9]).stability() == pytest.approx(0.4)
+
+    def test_series_accessors(self):
+        h = self.make([0.1, 0.2])
+        assert h.val_accuracy == [0.1, 0.2]
+        assert h.train_accuracy == [0.1, 0.2]
+        assert h.train_loss == [0.5, 0.5]
+
+
+class TestClusterGCNTrainer:
+    def make_trainer(self, small_graph, small_partition, lr=0.01, seed=0):
+        model = GCN(
+            feature_dim=small_graph.feature_dim,
+            hidden_dim=16,
+            num_classes=small_graph.num_classes,
+            num_layers=2,
+            seed=seed,
+        )
+        batcher = ClusterBatcher(small_graph, small_partition, 2, seed=seed)
+        return ClusterGCNTrainer(model, small_graph, batcher, lr=lr, seed=seed)
+
+    def test_training_improves_accuracy(self, small_graph, small_partition):
+        trainer = self.make_trainer(small_graph, small_partition)
+        before = trainer.evaluate()
+        history = trainer.fit(8)
+        assert history.final_val_accuracy > before
+        assert history.final_val_accuracy > 0.6
+
+    def test_loss_decreases(self, small_graph, small_partition):
+        trainer = self.make_trainer(small_graph, small_partition)
+        history = trainer.fit(8)
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_masks_partition_nodes(self, small_graph, small_partition):
+        trainer = self.make_trainer(small_graph, small_partition)
+        assert trainer.train_mask.sum() + trainer.val_mask.sum() == small_graph.num_nodes
+        assert not np.any(trainer.train_mask & trainer.val_mask)
+        assert trainer.train_mask.sum() == int(0.7 * small_graph.num_nodes)
+
+    def test_deterministic(self, small_graph, small_partition):
+        h1 = self.make_trainer(small_graph, small_partition, seed=3).fit(3)
+        h2 = self.make_trainer(small_graph, small_partition, seed=3).fit(3)
+        assert h1.val_accuracy == h2.val_accuracy
+
+    def test_requires_features(self, small_partition, small_graph):
+        from repro.graph.graph import CSRGraph
+
+        bare = CSRGraph(indptr=small_graph.indptr, indices=small_graph.indices)
+        model = GCN(4, 4, 2, seed=0)
+        batcher = ClusterBatcher(bare, small_partition, 2)
+        with pytest.raises(ValueError, match="features"):
+            ClusterGCNTrainer(model, bare, batcher)
+
+    def test_rejects_bad_fraction(self, small_graph, small_partition):
+        model = GCN(small_graph.feature_dim, 8, small_graph.num_classes, seed=0)
+        batcher = ClusterBatcher(small_graph, small_partition, 2)
+        with pytest.raises(ValueError, match="train_fraction"):
+            ClusterGCNTrainer(model, small_graph, batcher, train_fraction=1.5)
+
+    def test_rejects_zero_epochs(self, small_graph, small_partition):
+        trainer = self.make_trainer(small_graph, small_partition)
+        with pytest.raises(ValueError):
+            trainer.fit(0)

@@ -1,0 +1,135 @@
+"""Unit tests for the Table II dataset registry."""
+
+import pytest
+
+from repro.graph.datasets import (
+    DATASETS,
+    DatasetSpec,
+    dataset_names,
+    get_dataset_spec,
+    load_dataset,
+)
+
+
+class TestSpecs:
+    def test_table2_values(self):
+        """The registry mirrors the paper's Table II exactly."""
+        ppi = DATASETS["ppi"]
+        assert (ppi.num_nodes, ppi.num_edges) == (56_944, 818_716)
+        assert (ppi.num_partitions, ppi.batch_size, ppi.num_inputs) == (250, 5, 50)
+        reddit = DATASETS["reddit"]
+        assert (reddit.num_nodes, reddit.num_edges) == (232_965, 11_606_919)
+        assert (reddit.num_partitions, reddit.batch_size, reddit.num_inputs) == (
+            1500,
+            10,
+            150,
+        )
+        amazon = DATASETS["amazon2m"]
+        assert (amazon.num_nodes, amazon.num_edges) == (2_449_029, 61_859_140)
+        assert (amazon.num_partitions, amazon.batch_size, amazon.num_inputs) == (
+            15_000,
+            10,
+            1500,
+        )
+
+    def test_four_layers_everywhere(self):
+        for spec in DATASETS.values():
+            assert spec.num_layers == 4
+
+    def test_numinput_consistency_enforced(self):
+        with pytest.raises(ValueError, match="NumInput"):
+            DatasetSpec(
+                name="bad",
+                num_nodes=100,
+                num_edges=200,
+                num_partitions=10,
+                batch_size=5,
+                num_inputs=3,  # should be 2
+                feature_dim=4,
+                num_classes=2,
+                hidden_dim=8,
+            )
+
+    def test_divisibility_enforced(self):
+        with pytest.raises(ValueError, match="divisible"):
+            DatasetSpec(
+                name="bad",
+                num_nodes=100,
+                num_edges=200,
+                num_partitions=10,
+                batch_size=3,
+                num_inputs=3,
+                feature_dim=4,
+                num_classes=2,
+                hidden_dim=8,
+            )
+
+    def test_average_degree(self):
+        spec = DATASETS["reddit"]
+        assert spec.average_degree == pytest.approx(2 * 11_606_919 / 232_965)
+
+    def test_nodes_per_input(self):
+        spec = DATASETS["ppi"]
+        assert spec.nodes_per_input == pytest.approx(56_944 / 50)
+
+    def test_scaled_preserves_degree(self):
+        spec = DATASETS["ppi"]
+        nodes, edges, _ = spec.scaled(0.1)
+        assert 2 * edges / nodes == pytest.approx(spec.average_degree, rel=0.01)
+
+    def test_scaled_partitions_divisible_by_beta(self):
+        for spec in DATASETS.values():
+            for scale in (0.002, 0.01, 0.05, 0.3):
+                _, _, parts = spec.scaled(scale)
+                assert parts % spec.batch_size == 0
+                assert parts >= spec.batch_size
+
+    def test_scaled_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            DATASETS["ppi"].scaled(0.0)
+        with pytest.raises(ValueError):
+            DATASETS["ppi"].scaled(1.5)
+
+    def test_lookup(self):
+        assert get_dataset_spec("PPI").name == "ppi"
+        with pytest.raises(KeyError):
+            get_dataset_spec("cora")
+
+    def test_names_order(self):
+        assert dataset_names() == ["ppi", "reddit", "amazon2m"]
+
+
+class TestLoad:
+    @pytest.mark.parametrize("name", ["ppi", "reddit", "amazon2m"])
+    def test_load_matches_scaled_targets(self, name):
+        spec = get_dataset_spec(name)
+        scale = 0.01 if name != "amazon2m" else 0.001
+        nodes, edges, _ = spec.scaled(scale)
+        g = load_dataset(name, scale=scale, seed=0, with_features=False)
+        assert g.num_nodes == nodes
+        assert g.num_edges == edges
+
+    def test_load_with_features(self):
+        g = load_dataset("ppi", scale=0.01, seed=0)
+        spec = get_dataset_spec("ppi")
+        assert g.features.shape == (g.num_nodes, spec.feature_dim)
+        assert g.labels.max() < spec.num_classes
+
+    def test_load_without_features(self):
+        g = load_dataset("ppi", scale=0.01, seed=0, with_features=False)
+        assert g.features is None
+
+    def test_load_deterministic(self):
+        import numpy as np
+
+        g1 = load_dataset("ppi", scale=0.01, seed=3)
+        g2 = load_dataset("ppi", scale=0.01, seed=3)
+        assert np.array_equal(g1.indices, g2.indices)
+        assert np.array_equal(g1.features, g2.features)
+
+    def test_feature_noise_scales_spread(self):
+        import numpy as np
+
+        calm = load_dataset("ppi", scale=0.01, seed=0, feature_noise=0.1)
+        noisy = load_dataset("ppi", scale=0.01, seed=0, feature_noise=5.0)
+        assert np.std(noisy.features) > np.std(calm.features)

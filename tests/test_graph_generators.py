@@ -1,0 +1,112 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import powerlaw_community_graph, random_features_and_labels
+
+
+class TestPowerlawCommunityGraph:
+    def test_hits_node_and_edge_targets(self):
+        g = powerlaw_community_graph(500, 3000, num_communities=10, seed=0)
+        assert g.num_nodes == 500
+        assert g.num_edges == 3000
+
+    def test_deterministic_per_seed(self):
+        g1 = powerlaw_community_graph(200, 800, seed=42)
+        g2 = powerlaw_community_graph(200, 800, seed=42)
+        assert np.array_equal(g1.indptr, g2.indptr)
+        assert np.array_equal(g1.indices, g2.indices)
+
+    def test_different_seeds_differ(self):
+        g1 = powerlaw_community_graph(200, 800, seed=1)
+        g2 = powerlaw_community_graph(200, 800, seed=2)
+        assert not (
+            np.array_equal(g1.indptr, g2.indptr)
+            and np.array_equal(g1.indices, g2.indices)
+        )
+
+    def test_community_attribute_attached(self):
+        g = powerlaw_community_graph(300, 1200, num_communities=6, seed=0)
+        assert g.community.shape == (300,)
+        assert g.community.max() < 6
+
+    def test_low_mixing_clusters_edges(self):
+        clustered = powerlaw_community_graph(
+            600, 4000, num_communities=6, mixing=0.02, seed=0
+        )
+        mixed = powerlaw_community_graph(
+            600, 4000, num_communities=6, mixing=0.9, seed=0
+        )
+        def cross_fraction(g):
+            src = np.repeat(np.arange(g.num_nodes), g.degrees)
+            cross = g.community[src] != g.community[g.indices]
+            return cross.mean()
+        assert cross_fraction(clustered) < cross_fraction(mixed) / 2
+
+    def test_powerlaw_has_hubs(self):
+        g = powerlaw_community_graph(1000, 5000, exponent=2.1, seed=0)
+        degrees = np.sort(g.degrees)[::-1]
+        # Heavy tail: the top node far exceeds the average degree.
+        assert degrees[0] > 3 * g.average_degree
+
+    def test_rejects_tiny_graph(self):
+        with pytest.raises(ValueError, match="two nodes"):
+            powerlaw_community_graph(1, 0)
+
+    def test_rejects_bad_mixing(self):
+        with pytest.raises(ValueError, match="mixing"):
+            powerlaw_community_graph(10, 5, mixing=1.5)
+
+    def test_rejects_too_many_edges(self):
+        with pytest.raises(ValueError, match="at most"):
+            powerlaw_community_graph(10, 100)
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(ValueError, match="exponent"):
+            powerlaw_community_graph(10, 5, exponent=0.9)
+
+    def test_rejects_zero_communities(self):
+        with pytest.raises(ValueError, match="community"):
+            powerlaw_community_graph(10, 5, num_communities=0)
+
+
+class TestFeaturesAndLabels:
+    def test_shapes(self):
+        g = powerlaw_community_graph(100, 400, num_communities=5, seed=0)
+        g = random_features_and_labels(g, feature_dim=12, num_classes=4, seed=0)
+        assert g.features.shape == (100, 12)
+        assert g.labels.shape == (100,)
+        assert g.labels.max() < 4
+
+    def test_labels_follow_communities(self):
+        g = powerlaw_community_graph(100, 400, num_communities=3, seed=0)
+        g = random_features_and_labels(g, feature_dim=8, num_classes=3, seed=0)
+        assert np.array_equal(g.labels, np.asarray(g.community) % 3)
+
+    def test_features_correlate_with_labels(self):
+        g = powerlaw_community_graph(400, 1600, num_communities=4, seed=0)
+        g = random_features_and_labels(g, 16, 4, noise=0.3, seed=0)
+        # Class centroids should be far apart relative to in-class spread.
+        centroids = np.stack(
+            [g.features[g.labels == c].mean(axis=0) for c in range(4)]
+        )
+        spread = g.features.std()
+        gaps = np.linalg.norm(centroids[0] - centroids[1])
+        assert gaps > spread
+
+    def test_deterministic(self):
+        g = powerlaw_community_graph(50, 200, seed=0)
+        a = random_features_and_labels(g, 4, 3, seed=5)
+        b = random_features_and_labels(g, 4, 3, seed=5)
+        assert np.array_equal(a.features, b.features)
+
+    def test_without_community_uses_components(self, tiny_graph):
+        out = random_features_and_labels(tiny_graph, 4, 2, seed=0)
+        assert out.labels.shape == (8,)
+
+    def test_rejects_bad_dims(self, tiny_graph):
+        with pytest.raises(ValueError):
+            random_features_and_labels(tiny_graph, 0, 3)
+        with pytest.raises(ValueError):
+            random_features_and_labels(tiny_graph, 3, 0)

@@ -1,0 +1,118 @@
+"""Unit tests for the multilevel k-way partitioner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import powerlaw_community_graph
+from repro.graph.graph import CSRGraph
+from repro.graph.partition import partition_graph
+
+
+class TestBasics:
+    def test_single_part(self, small_graph):
+        result = partition_graph(small_graph, 1)
+        assert result.num_parts == 1
+        assert result.edge_cut == 0
+        assert np.all(result.assignment == 0)
+
+    def test_all_nodes_assigned(self, small_partition, small_graph):
+        assert small_partition.assignment.shape == (small_graph.num_nodes,)
+        assert small_partition.assignment.min() >= 0
+        assert small_partition.assignment.max() < 8
+
+    def test_every_part_nonempty(self, small_partition):
+        assert np.all(small_partition.part_sizes > 0)
+
+    def test_balance_respected(self, small_partition):
+        assert small_partition.imbalance <= 1.1 + 1e-9
+
+    def test_edge_cut_consistent(self, small_graph, small_partition):
+        assert small_partition.edge_cut == small_graph.edge_cut(
+            small_partition.assignment
+        )
+
+    def test_part_nodes(self, small_partition):
+        nodes = small_partition.part_nodes(0)
+        assert np.all(small_partition.assignment[nodes] == 0)
+        assert len(nodes) == small_partition.part_sizes[0]
+
+    def test_part_nodes_out_of_range(self, small_partition):
+        with pytest.raises(IndexError):
+            small_partition.part_nodes(99)
+
+    def test_deterministic(self, small_graph):
+        a = partition_graph(small_graph, 6, seed=4)
+        b = partition_graph(small_graph, 6, seed=4)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_rejects_bad_k(self, small_graph):
+        with pytest.raises(ValueError):
+            partition_graph(small_graph, 0)
+        with pytest.raises(ValueError):
+            partition_graph(small_graph, small_graph.num_nodes + 1)
+
+
+class TestQuality:
+    def test_beats_random_cut(self, small_graph):
+        """The multilevel partitioner should cut far fewer edges than a
+        random balanced assignment."""
+        result = partition_graph(small_graph, 8, seed=0)
+        rng = np.random.default_rng(0)
+        random_cuts = []
+        for _ in range(5):
+            assignment = rng.permutation(
+                np.arange(small_graph.num_nodes) % 8
+            )
+            random_cuts.append(small_graph.edge_cut(assignment))
+        assert result.edge_cut < 0.8 * min(random_cuts)
+
+    def test_recovers_planted_communities(self):
+        """On a strongly clustered graph the cut should be near the number
+        of cross-community edges."""
+        g = powerlaw_community_graph(
+            600, 3600, num_communities=4, mixing=0.05, seed=2
+        )
+        result = partition_graph(g, 4, seed=0)
+        # Planted communities are size-skewed, so the balance constraint
+        # forces some big communities to split; still, the cut should stay
+        # far below the random-assignment expectation of (1 - 1/k) = 75%.
+        assert result.edge_cut <= 0.35 * g.num_edges
+
+    def test_disconnected_graph(self):
+        g = CSRGraph.from_edges(
+            20, np.array([[i, i + 1] for i in range(9)] + [[i, i + 1] for i in range(10, 19)])
+        )
+        result = partition_graph(g, 2, seed=0)
+        assert np.all(result.part_sizes > 0)
+        # Two chains of 10: the natural 2-cut severs nothing.
+        assert result.edge_cut <= 2
+
+    def test_path_graph_bisection(self):
+        g = CSRGraph.from_edges(40, np.array([[i, i + 1] for i in range(39)]))
+        result = partition_graph(g, 2, seed=0)
+        # A path bisects with a single cut edge (allow small slack).
+        assert result.edge_cut <= 3
+
+    def test_many_parts(self, small_graph):
+        result = partition_graph(small_graph, 40, seed=0)
+        assert result.num_parts == 40
+        assert np.all(result.part_sizes > 0)
+        assert result.imbalance <= 1.3  # small parts tolerate more slack
+
+
+class TestProperties:
+    @given(
+        n=st.integers(20, 80),
+        k=st.integers(2, 6),
+        seed=st.integers(0, 5),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_partition_invariants(self, n, k, seed):
+        g = powerlaw_community_graph(n, min(3 * n, n * (n - 1) // 2), seed=seed)
+        result = partition_graph(g, k, seed=seed)
+        assert result.assignment.shape == (n,)
+        assert set(np.unique(result.assignment)) <= set(range(k))
+        assert result.part_sizes.sum() == n
+        assert 0 <= result.edge_cut <= g.num_edges

@@ -1,0 +1,85 @@
+"""Unit tests for NoC characterization utilities."""
+
+import pytest
+
+from repro.noc.analysis import (
+    average_hop_count,
+    bisection_links,
+    latency_throughput_sweep,
+    saturation_rate,
+)
+from repro.noc.schedule import NoCConfig
+from repro.noc.topology import Mesh2D, Mesh3D
+
+
+class TestSweep:
+    def test_latency_monotone_in_load(self):
+        topo = Mesh3D(4, 4, 2)
+        points = latency_throughput_sweep(
+            topo, rates=[0.5, 4.0, 20.0], window_cycles=500, seed=0
+        )
+        latencies = [p.average_latency_cycles for p in points]
+        assert latencies[0] <= latencies[1] <= latencies[2]
+
+    def test_low_load_near_uncontended(self):
+        topo = Mesh3D(4, 4, 2)
+        cfg = NoCConfig()
+        points = latency_throughput_sweep(
+            topo, rates=[0.1], window_cycles=2000, size_bits=256, config=cfg, seed=0
+        )
+        # ~avg 5 hops * 3 cycles + 9 flits: well under 100 cycles.
+        assert points[0].average_latency_cycles < 100
+
+    def test_saturation_detection(self):
+        topo = Mesh3D(4, 4, 2)
+        points = latency_throughput_sweep(
+            topo, rates=[0.1, 100.0], window_cycles=500, seed=0
+        )
+        rate = saturation_rate(points)
+        assert rate == 100.0
+
+    def test_no_saturation_returns_none(self):
+        topo = Mesh3D(4, 4, 2)
+        points = latency_throughput_sweep(topo, rates=[0.1], window_cycles=1000)
+        assert saturation_rate(points) is None
+
+    def test_validation(self):
+        topo = Mesh3D(4, 4, 2)
+        with pytest.raises(ValueError):
+            latency_throughput_sweep(topo, rates=[])
+        with pytest.raises(ValueError):
+            latency_throughput_sweep(topo, rates=[-1.0])
+
+
+class TestBisection:
+    def test_mesh2d_formula(self):
+        # 8x8 planar mesh: 8 rows x 2 directions across the X cut.
+        assert bisection_links(Mesh2D(8, 8)) == 16
+
+    def test_3d_scales_with_tiers(self):
+        assert bisection_links(Mesh3D(8, 8, 3)) == 3 * 16
+
+    def test_more_tiers_more_bisection(self):
+        assert bisection_links(Mesh3D(4, 4, 4)) == 2 * bisection_links(
+            Mesh3D(4, 4, 2)
+        )
+
+
+class TestHopCount:
+    def test_all_pairs_small_mesh(self):
+        # 2x1x1 mesh: single pair at distance 1.
+        assert average_hop_count(Mesh3D(2, 1, 1)) == 1.0
+
+    def test_explicit_pairs(self):
+        topo = Mesh3D(4, 4, 2)
+        assert average_hop_count(topo, [(0, 1), (0, 3)]) == 2.0
+
+    def test_3d_beats_planar_spread(self):
+        """The 3D argument: same router count, shorter average distance."""
+        three_d = average_hop_count(Mesh3D(4, 4, 4))
+        planar = average_hop_count(Mesh2D(16, 4))
+        assert three_d < planar
+
+    def test_empty_pairs_rejected(self):
+        with pytest.raises(ValueError):
+            average_hop_count(Mesh3D(2, 2, 2), [])

@@ -1,0 +1,240 @@
+"""Tests for the static scheduler and the flit-level simulator, including
+their cross-validation (DESIGN.md simulation methodology)."""
+
+import pytest
+
+from repro.noc.packet import Message
+from repro.noc.schedule import NoCConfig, StaticScheduler
+from repro.noc.simulator import FlitSimulator
+from repro.noc.topology import Mesh3D
+from repro.noc.traffic_gen import (
+    hotspot_traffic,
+    many_to_one_to_many_traffic,
+    uniform_random_traffic,
+)
+
+TOPO = Mesh3D(8, 8, 3)
+CFG = NoCConfig()
+
+
+class TestMessage:
+    def test_flit_count(self):
+        assert Message(src=0, dests=(1,), size_bits=32, msg_id=0).num_flits(32) == 2
+        assert Message(src=0, dests=(1,), size_bits=33, msg_id=0).num_flits(32) == 3
+
+    def test_multicast_flag(self):
+        assert Message(src=0, dests=(1, 2), size_bits=8, msg_id=0).is_multicast
+        assert not Message(src=0, dests=(1,), size_bits=8, msg_id=0).is_multicast
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Message(src=0, dests=(), size_bits=8)
+        with pytest.raises(ValueError):
+            Message(src=0, dests=(0,), size_bits=8)
+        with pytest.raises(ValueError):
+            Message(src=0, dests=(1, 1), size_bits=8)
+        with pytest.raises(ValueError):
+            Message(src=0, dests=(1,), size_bits=0)
+        with pytest.raises(ValueError):
+            Message(src=0, dests=(1,), size_bits=8, inject_cycle=-1)
+
+
+class TestNoCConfig:
+    def test_defaults_valid(self):
+        cfg = NoCConfig()
+        assert cfg.hop_cycles == 3
+        assert cfg.cycle_time == pytest.approx(1 / 0.4e9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoCConfig(flit_bits=0)
+        with pytest.raises(ValueError):
+            NoCConfig(clock_hz=0)
+        with pytest.raises(ValueError):
+            NoCConfig(router_cycles=0)
+        with pytest.raises(ValueError):
+            NoCConfig(schedule_mode="magic")
+
+
+def analytic_latency(topo, cfg, msg):
+    """Uncontended wormhole latency including local ports."""
+    hops = topo.distance(msg.src, msg.dests[0]) + 2
+    return msg.inject_cycle + hops * cfg.hop_cycles + msg.num_flits(cfg.flit_bits) - 1
+
+
+class TestStaticScheduler:
+    def test_single_message_analytic(self):
+        msg = Message(src=0, dests=(TOPO.router_id(3, 2, 1),), size_bits=320, msg_id=0)
+        result = StaticScheduler(TOPO, CFG).simulate([msg])
+        assert result.makespan_cycles == analytic_latency(TOPO, CFG, msg)
+
+    def test_injection_delay_respected(self):
+        msg = Message(src=0, dests=(1,), size_bits=32, inject_cycle=100, msg_id=0)
+        result = StaticScheduler(TOPO, CFG).simulate([msg])
+        assert result.makespan_cycles == analytic_latency(TOPO, CFG, msg)
+
+    def test_shared_destination_serializes(self):
+        """Two messages into one ejection port cannot overlap fully."""
+        msgs = [
+            Message(src=1, dests=(0,), size_bits=3200, msg_id=0),
+            Message(src=2, dests=(0,), size_bits=3200, msg_id=1),
+        ]
+        result = StaticScheduler(TOPO, CFG).simulate(msgs)
+        flits = msgs[0].num_flits(CFG.flit_bits)
+        solo = analytic_latency(TOPO, CFG, msgs[0])
+        assert result.makespan_cycles >= solo + flits
+
+    def test_disjoint_messages_parallel(self):
+        msgs = [
+            Message(src=0, dests=(1,), size_bits=320, msg_id=0),
+            Message(src=100, dests=(101,), size_bits=320, msg_id=1),
+        ]
+        result = StaticScheduler(TOPO, CFG).simulate(msgs)
+        assert result.makespan_cycles == max(
+            analytic_latency(TOPO, CFG, m) for m in msgs
+        )
+
+    def test_multicast_beats_unicast(self):
+        msg = Message(
+            src=0, dests=tuple(TOPO.tier_routers(2)[:16]), size_bits=4096, msg_id=0
+        )
+        sched = StaticScheduler(TOPO, CFG)
+        multicast = sched.simulate([msg], multicast=True)
+        unicast = sched.simulate([msg], multicast=False)
+        assert multicast.makespan_cycles < unicast.makespan_cycles
+        assert multicast.total_flit_hops < unicast.total_flit_hops
+
+    def test_multicast_crosses_each_tree_link_once(self):
+        dests = (TOPO.router_id(1, 0, 0), TOPO.router_id(2, 0, 0))
+        msg = Message(src=0, dests=dests, size_bits=320, msg_id=0)
+        result = StaticScheduler(TOPO, CFG).simulate([msg], multicast=True)
+        flits = msg.num_flits(CFG.flit_bits)
+        # Tree: 2 router links + injection + 2 ejections = 5 links.
+        assert result.total_flit_hops == 5 * flits
+
+    def test_tag_finish(self):
+        msgs = [
+            Message(src=0, dests=(1,), size_bits=320, tag="a", msg_id=0),
+            Message(src=0, dests=(10,), size_bits=320, tag="b", msg_id=1),
+        ]
+        result = StaticScheduler(TOPO, CFG).simulate(msgs)
+        assert set(result.tag_finish) == {"a", "b"}
+        assert result.tag_finish_seconds("a") > 0
+        with pytest.raises(KeyError):
+            result.tag_finish_seconds("zzz")
+
+    def test_determinism(self):
+        msgs = uniform_random_traffic(TOPO, 50, seed=7)
+        a = StaticScheduler(TOPO, CFG).simulate(msgs)
+        b = StaticScheduler(TOPO, CFG).simulate(msgs)
+        assert a.makespan_cycles == b.makespan_cycles
+        assert a.message_finish == b.message_finish
+
+    def test_atomic_mode_conservative(self):
+        msgs = uniform_random_traffic(TOPO, 60, size_bits=512, seed=3)
+        pipelined = StaticScheduler(TOPO, NoCConfig(schedule_mode="pipelined"))
+        atomic = StaticScheduler(TOPO, NoCConfig(schedule_mode="atomic"))
+        assert (
+            pipelined.simulate(msgs).makespan_cycles
+            <= atomic.simulate(msgs).makespan_cycles
+        )
+
+    def test_energy_accounting(self):
+        msg = Message(src=0, dests=(TOPO.router_id(0, 0, 1),), size_bits=320, msg_id=0)
+        result = StaticScheduler(TOPO, CFG).simulate([msg])
+        stats = result.link_stats
+        flits = msg.num_flits(CFG.flit_bits)
+        assert stats.vertical_flit_hops == flits  # one TSV hop
+        assert stats.local_flit_hops == 2 * flits  # inject + eject
+        assert stats.planar_flit_hops == 0
+        expected = (
+            flits * (CFG.router_energy_per_flit + CFG.vertical_link_energy_per_flit)
+            + 2 * flits * (CFG.local_port_energy_per_flit + CFG.router_energy_per_flit)
+        )
+        assert result.energy_joules() == pytest.approx(expected)
+
+    def test_makespan_at_least_bottleneck_load(self):
+        msgs = hotspot_traffic(TOPO, 80, hotspot=0, seed=1)
+        result = StaticScheduler(TOPO, CFG).simulate(msgs)
+        assert result.makespan_cycles >= result.link_stats.max_link_load
+
+    def test_without_local_ports(self):
+        cfg = NoCConfig(model_local_ports=False)
+        msg = Message(src=0, dests=(TOPO.router_id(3, 2, 1),), size_bits=320, msg_id=0)
+        result = StaticScheduler(TOPO, cfg).simulate([msg])
+        hops = TOPO.distance(0, msg.dests[0])
+        assert result.makespan_cycles == hops * cfg.hop_cycles + msg.num_flits(32) - 1
+
+
+class TestFlitSimulator:
+    def test_single_message_matches_scheduler(self):
+        msg = Message(src=0, dests=(TOPO.router_id(5, 5, 2),), size_bits=640, msg_id=0)
+        sched = StaticScheduler(TOPO, CFG).simulate([msg])
+        sim = FlitSimulator(TOPO, CFG).simulate([msg])
+        assert sim.makespan_cycles == sched.makespan_cycles
+
+    def test_contended_not_worse_than_atomic(self):
+        msgs = uniform_random_traffic(TOPO, 40, size_bits=512, seed=5)
+        atomic = StaticScheduler(TOPO, NoCConfig(schedule_mode="atomic")).simulate(
+            msgs, multicast=False
+        )
+        sim = FlitSimulator(TOPO, CFG).simulate(msgs)
+        assert sim.makespan_cycles <= atomic.makespan_cycles
+
+    def test_flit_hop_conservation(self):
+        msgs = uniform_random_traffic(TOPO, 30, size_bits=256, seed=2)
+        sched = StaticScheduler(TOPO, CFG).simulate(msgs, multicast=False)
+        sim = FlitSimulator(TOPO, CFG).simulate(msgs)
+        assert sim.link_stats.total_flit_hops == sched.total_flit_hops
+
+    def test_all_messages_delivered(self):
+        msgs = uniform_random_traffic(TOPO, 25, seed=9)
+        sim = FlitSimulator(TOPO, CFG).simulate(msgs)
+        assert len(sim.message_finish) == 25
+
+    def test_max_cycles_guard(self):
+        msgs = uniform_random_traffic(TOPO, 10, size_bits=4096, seed=0)
+        with pytest.raises(RuntimeError, match="exceeded"):
+            FlitSimulator(TOPO, CFG).simulate(msgs, max_cycles=5)
+
+
+class TestTrafficGen:
+    def test_uniform_properties(self):
+        msgs = uniform_random_traffic(TOPO, 100, seed=0)
+        assert len(msgs) == 100
+        assert all(m.src != m.dests[0] for m in msgs)
+
+    def test_uniform_deterministic(self):
+        a = uniform_random_traffic(TOPO, 20, seed=4)
+        b = uniform_random_traffic(TOPO, 20, seed=4)
+        assert [(m.src, m.dests) for m in a] == [(m.src, m.dests) for m in b]
+
+    def test_hotspot_fraction(self):
+        msgs = hotspot_traffic(TOPO, 400, hotspot=7, hotspot_fraction=0.5, seed=0)
+        hot = sum(1 for m in msgs if m.dests[0] == 7)
+        assert 120 < hot < 280
+
+    def test_hotspot_validation(self):
+        with pytest.raises(ValueError):
+            hotspot_traffic(TOPO, 10, hotspot=0, hotspot_fraction=2.0)
+        with pytest.raises(IndexError):
+            hotspot_traffic(TOPO, 10, hotspot=999)
+
+    def test_many_to_one_to_many_shape(self):
+        sources = TOPO.tier_routers(1)[:4]
+        sinks = TOPO.tier_routers(0)[:3]
+        msgs = many_to_one_to_many_traffic(TOPO, sources, sinks)
+        gather = [m for m in msgs if m.tag == "gather"]
+        scatter = [m for m in msgs if m.tag == "scatter"]
+        assert len(gather) == 4
+        assert len(scatter) == 3
+        assert all(set(m.dests) == set(sinks) for m in gather)
+        assert all(set(m.dests) == set(sources) for m in scatter)
+
+    def test_many_to_one_requires_disjoint(self):
+        with pytest.raises(ValueError, match="disjoint"):
+            many_to_one_to_many_traffic(TOPO, [0, 1], [1, 2])
+
+    def test_no_replies(self):
+        msgs = many_to_one_to_many_traffic(TOPO, [64], [0], replies=False)
+        assert len(msgs) == 1

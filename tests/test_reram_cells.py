@@ -1,0 +1,119 @@
+"""Unit tests for ReRAM cell/converter/fixed-point primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.reram.cells import ADCSpec, CellSpec, DACSpec, FixedPointFormat
+
+
+class TestCellSpec:
+    def test_levels(self):
+        assert CellSpec(2).levels == 4
+        assert CellSpec(1).levels == 2
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            CellSpec(0)
+
+
+class TestDACSpec:
+    def test_bit_serial_cycles(self):
+        assert DACSpec(1).cycles_for(16) == 16
+        assert DACSpec(2).cycles_for(16) == 8
+        assert DACSpec(2).cycles_for(15) == 8  # ceil
+
+    def test_rejects_bad_operand(self):
+        with pytest.raises(ValueError):
+            DACSpec(1).cycles_for(0)
+
+
+class TestADCSpec:
+    def test_max_code(self):
+        assert ADCSpec(8).max_code == 255
+        assert ADCSpec(6).max_code == 63
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            ADCSpec(0)
+
+
+class TestFixedPoint:
+    def test_quantize_dequantize_roundtrip_error(self):
+        fmt = FixedPointFormat(16, 12)
+        values = np.linspace(-3, 3, 101)
+        err = np.abs(fmt.round_trip(values) - values).max()
+        assert err <= 0.5 / fmt.scale + 1e-12
+
+    def test_saturation(self):
+        fmt = FixedPointFormat(16, 12)
+        codes = fmt.quantize(np.array([100.0, -100.0]))
+        assert codes[0] == fmt.max_int
+        assert codes[1] == fmt.min_int
+
+    def test_bounds(self):
+        fmt = FixedPointFormat(8, 4)
+        assert fmt.max_int == 127
+        assert fmt.min_int == -128
+        assert fmt.scale == 16.0
+
+    def test_slice_combine_identity_positive(self):
+        fmt = FixedPointFormat(16, 12)
+        codes = np.array([0, 1, 1000, 32767])
+        slices = fmt.slice_bits(codes, 2)
+        assert len(slices) == 8
+        assert np.array_equal(fmt.combine_slices(slices, 2), codes)
+
+    def test_slice_combine_identity_negative(self):
+        fmt = FixedPointFormat(16, 12)
+        codes = np.array([-1, -1000, -32768])
+        slices = fmt.slice_bits(codes, 2)
+        assert np.array_equal(fmt.combine_slices(slices, 2), codes)
+
+    def test_slices_fit_cell_levels(self):
+        fmt = FixedPointFormat(16, 12)
+        codes = np.arange(-100, 100)
+        for s in fmt.slice_bits(codes, 2):
+            assert s.min() >= 0
+            assert s.max() < 4
+
+    def test_rejects_bad_format(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(1, 0)
+        with pytest.raises(ValueError):
+            FixedPointFormat(8, 8)
+
+    def test_rejects_bad_slice_width(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat().slice_bits(np.array([1]), 0)
+
+    @given(
+        arrays(
+            np.float64,
+            st.integers(1, 30),
+            elements=st.floats(-7.9, 7.9, allow_nan=False),
+        )
+    )
+    @settings(max_examples=50)
+    def test_slice_combine_roundtrip_property(self, values):
+        fmt = FixedPointFormat(16, 12)
+        codes = fmt.quantize(values)
+        for width in (1, 2, 4):
+            assert np.array_equal(
+                fmt.combine_slices(fmt.slice_bits(codes, width), width), codes
+            )
+
+    @given(
+        arrays(
+            np.float64,
+            10,
+            elements=st.floats(-5, 5, allow_nan=False),
+        )
+    )
+    @settings(max_examples=50)
+    def test_quantization_error_bound_property(self, values):
+        fmt = FixedPointFormat(16, 12)
+        err = np.abs(fmt.round_trip(values) - values)
+        assert err.max() <= 0.5 / fmt.scale + 1e-12

@@ -1,0 +1,199 @@
+"""Unit tests for the functional crossbar and IMA models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reram.cells import FixedPointFormat
+from repro.reram.crossbar import Crossbar
+from repro.reram.ima import IMA, IMASpec
+from repro.reram.tile import ReRAMTile, e_tile_spec, v_tile_spec
+
+
+class TestCrossbar:
+    def test_program_and_read_back(self):
+        xb = Crossbar(4, 4)
+        codes = np.arange(16).reshape(4, 4) % 4
+        xb.program(codes)
+        assert np.array_equal(xb.stored(), codes)
+
+    def test_mac_wave_is_binary_matvec(self):
+        xb = Crossbar(4, 3)
+        codes = np.array([[1, 2, 3], [0, 1, 0], [3, 3, 3], [2, 0, 1]])
+        xb.program(codes)
+        wave = np.array([1, 0, 1, 1])
+        assert np.array_equal(xb.mac_wave(wave), wave @ codes)
+
+    def test_counts_reads_and_writes(self):
+        xb = Crossbar(4, 4)
+        xb.program(np.zeros((4, 4), dtype=int))
+        xb.mac_wave(np.ones(4, dtype=int))
+        xb.mac_wave(np.zeros(4, dtype=int))
+        assert xb.write_count == 16
+        assert xb.read_count == 2
+
+    def test_program_partial(self):
+        xb = Crossbar(4, 4)
+        xb.program_partial(1, 1, np.array([[3, 3], [3, 3]]))
+        assert xb.stored()[1, 1] == 3
+        assert xb.stored()[0, 0] == 0
+        assert xb.write_count == 4
+
+    def test_program_partial_bounds(self):
+        xb = Crossbar(4, 4)
+        with pytest.raises(ValueError, match="bounds"):
+            xb.program_partial(3, 3, np.ones((2, 2), dtype=int))
+
+    def test_program_rejects_bad_shape(self):
+        xb = Crossbar(4, 4)
+        with pytest.raises(ValueError, match="shape"):
+            xb.program(np.zeros((3, 4), dtype=int))
+
+    def test_program_rejects_out_of_range_codes(self):
+        xb = Crossbar(2, 2)
+        with pytest.raises(ValueError, match="codes"):
+            xb.program(np.full((2, 2), 7))
+
+    def test_mac_wave_rejects_non_binary(self):
+        xb = Crossbar(2, 2)
+        xb.program(np.ones((2, 2), dtype=int))
+        with pytest.raises(ValueError, match="binary"):
+            xb.mac_wave(np.array([2, 0]))
+
+    def test_zero_cells(self):
+        xb = Crossbar(2, 2)
+        xb.program(np.array([[0, 1], [0, 0]]))
+        assert xb.zero_cells() == 3
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            Crossbar(0, 4)
+
+
+class TestIMA:
+    def test_matvec_matches_quantized_reference(self):
+        rng = np.random.default_rng(0)
+        ima = IMA()
+        w = rng.normal(scale=0.4, size=(100, 120))
+        x = rng.normal(scale=0.4, size=100)
+        ima.program_weights(w)
+        got = ima.matvec(x)
+        fmt = FixedPointFormat()
+        want = fmt.round_trip(x) @ fmt.round_trip(w)
+        assert np.allclose(got, want, atol=1e-9)
+
+    def test_matvec_close_to_float(self):
+        rng = np.random.default_rng(1)
+        ima = IMA()
+        w = rng.normal(scale=0.3, size=(64, 64))
+        x = rng.normal(scale=0.3, size=64)
+        ima.program_weights(w)
+        assert np.abs(ima.matvec(x) - x @ w).max() < 5e-3
+
+    def test_negative_weights_and_inputs(self):
+        ima = IMA(IMASpec(crossbar_size=8))
+        w = np.array([[-1.0, 0.5], [0.25, -0.75]])
+        ima.program_weights(w)
+        x = np.array([-1.0, 2.0])
+        assert np.allclose(ima.matvec(x), x @ w, atol=1e-3)
+
+    def test_matmul_batches(self):
+        rng = np.random.default_rng(2)
+        ima = IMA(IMASpec(crossbar_size=16))
+        w = rng.normal(scale=0.3, size=(10, 12))
+        x = rng.normal(scale=0.3, size=(5, 10))
+        ima.program_weights(w)
+        out = ima.matmul(x)
+        assert out.shape == (5, 12)
+        assert np.abs(out - x @ w).max() < 5e-3
+
+    def test_rejects_oversized_block(self):
+        ima = IMA(IMASpec(crossbar_size=8))
+        with pytest.raises(ValueError, match="fit"):
+            ima.program_weights(np.zeros((9, 4)))
+
+    def test_rejects_use_before_programming(self):
+        ima = IMA(IMASpec(crossbar_size=8))
+        with pytest.raises(RuntimeError, match="programming"):
+            ima.matvec(np.zeros(4))
+
+    def test_rejects_wrong_input_length(self):
+        ima = IMA(IMASpec(crossbar_size=8))
+        ima.program_weights(np.zeros((4, 4)))
+        with pytest.raises(ValueError, match="shape"):
+            ima.matvec(np.zeros(5))
+
+    def test_read_write_counters(self):
+        ima = IMA(IMASpec(crossbar_size=8))
+        ima.program_weights(np.ones((8, 8)) * 0.1)
+        ima.matvec(np.ones(8) * 0.1)
+        assert ima.total_writes == 8 * 64
+        assert ima.total_reads == 16 * 8  # 16 input bits x 8 weight slices
+
+    def test_spec_rejects_insufficient_crossbars(self):
+        with pytest.raises(ValueError, match="cannot hold"):
+            IMASpec(num_crossbars=4)  # 16-bit / 2-bit cells needs 8 slices
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_matvec_quantized_exact_property(self, seed):
+        rng = np.random.default_rng(seed)
+        ima = IMA(IMASpec(crossbar_size=16))
+        w = rng.normal(scale=0.5, size=(16, 16))
+        x = rng.normal(scale=0.5, size=16)
+        ima.program_weights(w)
+        fmt = FixedPointFormat()
+        want = fmt.round_trip(x) @ fmt.round_trip(w)
+        assert np.allclose(ima.matvec(x), want, atol=1e-9)
+
+
+class TestTile:
+    def test_program_layer_blocks(self):
+        tile = ReRAMTile(v_tile_spec())
+        placements = tile.program_layer(np.zeros((200, 250)))
+        assert len(placements) == 2 * 2
+
+    def test_matmul_matches_float(self):
+        rng = np.random.default_rng(3)
+        tile = ReRAMTile(v_tile_spec())
+        w = rng.normal(scale=0.2, size=(150, 140))
+        x = rng.normal(scale=0.2, size=(4, 150))
+        tile.program_layer(w)
+        assert np.abs(tile.matmul(x) - x @ w).max() < 5e-3
+
+    def test_rejects_oversized_layer(self):
+        tile = ReRAMTile(v_tile_spec())
+        with pytest.raises(ValueError, match="blocks"):
+            tile.program_layer(np.zeros((128 * 4, 128 * 4)))
+
+    def test_rejects_use_before_program(self):
+        tile = ReRAMTile(v_tile_spec())
+        with pytest.raises(RuntimeError):
+            tile.matmul(np.zeros((2, 10)))
+
+    def test_rejects_wrong_input_width(self):
+        tile = ReRAMTile(v_tile_spec())
+        tile.program_layer(np.zeros((100, 100)))
+        with pytest.raises(ValueError, match="width"):
+            tile.matmul(np.zeros((2, 99)))
+
+    def test_tile_specs(self):
+        v = v_tile_spec()
+        e = e_tile_spec()
+        assert v.crossbar_size == 128
+        assert e.crossbar_size == 8
+        assert v.ima.adc.bits == 8
+        assert e.ima.adc.bits == 6
+        assert v.weight_blocks_per_tile == 12
+        assert e.adjacency_blocks_per_tile == 96
+        assert v.cells_per_tile == 12 * 8 * 128 * 128
+
+    def test_tile_spec_validation(self):
+        from repro.reram.tile import TileSpec
+        from repro.reram.ima import IMASpec
+
+        with pytest.raises(ValueError, match="kind"):
+            TileSpec(kind="x", ima=IMASpec())
+        with pytest.raises(ValueError, match="IMA"):
+            TileSpec(kind="v", ima=IMASpec(), num_imas=0)

@@ -1,0 +1,79 @@
+"""Unit tests for shared utilities (RNG handling, units, formatting)."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import rng_from_seed, spawn_rngs
+from repro.utils.units import (
+    GHZ,
+    MHZ,
+    NANO,
+    PICO,
+    format_seconds,
+    format_si,
+)
+
+
+class TestRng:
+    def test_int_seed_deterministic(self):
+        a = rng_from_seed(7).random(5)
+        b = rng_from_seed(7).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert rng_from_seed(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(rng_from_seed(None), np.random.Generator)
+
+    def test_spawn_independent_streams(self):
+        children = spawn_rngs(3, 4)
+        assert len(children) == 4
+        draws = [c.random(8) for c in children]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not np.array_equal(draws[i], draws[j])
+
+    def test_spawn_deterministic(self):
+        a = [c.random(4) for c in spawn_rngs(5, 3)]
+        b = [c.random(4) for c in spawn_rngs(5, 3)]
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_spawn_zero(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestUnits:
+    def test_constants(self):
+        assert MHZ == 1e6
+        assert GHZ == 1e9
+        assert NANO == 1e-9
+        assert PICO == 1e-12
+
+    def test_format_si_basic(self):
+        assert format_si(2.5e-6, "s") == "2.5 us"
+        assert format_si(3e9, "Hz") == "3 GHz"
+        assert format_si(0) == "0"
+        assert format_si(1.0, "J") == "1 J"
+
+    def test_format_si_tiny(self):
+        assert "p" in format_si(2e-12, "J")
+
+    def test_format_si_negative(self):
+        assert format_si(-4e-3, "s") == "-4 ms"
+
+    def test_format_seconds_ranges(self):
+        assert format_seconds(0.5) == "500 ms"
+        assert format_seconds(5.0) == "5 s"
+        assert format_seconds(125) == "2m 5s"
+        assert format_seconds(3725) == "1h 2m 5s"
+
+    def test_format_seconds_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_seconds(-1.0)
