@@ -1,5 +1,8 @@
 """Setuptools shim: enables legacy editable installs in offline environments
-(no `wheel` package available, so the PEP-517 editable path cannot build)."""
+(no `wheel` package available, so the PEP-517 editable path cannot build).
+
+All project metadata lives in pyproject.toml; this file intentionally
+stays empty of configuration."""
 
 from setuptools import setup
 

@@ -6,13 +6,18 @@ Commands:
     experiments [names...]     regenerate paper tables/figures (default all)
     evaluate DATASET           evaluate one dataset end to end vs the GPU
     thermal                    tier-count thermal feasibility study
+    sweep --preset NAME        run a declarative scenario campaign (parallel
+                               with --jobs, cached under .repro_cache/)
 """
 
 from __future__ import annotations
 
 import argparse
-import sys
+from pathlib import Path
 
+from repro.campaign.executor import run_campaign
+from repro.campaign.presets import get_preset, preset_names
+from repro.campaign.store import DEFAULT_ROOT, ResultStore
 from repro.core import ReGraphX, ThermalModel, compare_with_gpu, tier_powers_from_report
 from repro.experiments.common import DEFAULT_SCALES
 from repro.experiments.runner import ALL_EXPERIMENTS
@@ -30,16 +35,52 @@ def cmd_info(_: argparse.Namespace) -> None:
 
 def cmd_experiments(args: argparse.Namespace) -> None:
     names = args.names or None
-    for _, text in run_experiments(names, seed=args.seed).items():
+    try:
+        results = run_experiments(names, seed=args.seed or 0, jobs=args.jobs)
+    except ValueError as error:
+        raise SystemExit(f"experiments: {error}")
+    for _, text in results.items():
         print()
         print(text)
+
+
+def cmd_sweep(args: argparse.Namespace) -> None:
+    if args.list_presets:
+        for name in preset_names():
+            spec = get_preset(name)
+            print(f"{spec.summary()}")
+            if spec.description:
+                print(f"    {spec.description}")
+        return
+    if not args.preset:
+        raise SystemExit("sweep: --preset NAME required (see --list-presets)")
+    spec = get_preset(args.preset)
+    if args.seed is not None:
+        from dataclasses import replace
+
+        spec = replace(spec, base=replace(spec.base, seed=args.seed))
+    store = None if args.no_cache else ResultStore(args.cache)
+    print(f"campaign {spec.summary()}  (jobs={args.jobs})")
+    result = run_campaign(spec, jobs=args.jobs, store=store, progress=print)
+    out = Path(args.out)
+    json_path = result.to_json(out / f"{spec.name}.json")
+    csv_path = result.to_csv(out / f"{spec.name}.csv")
+    print()
+    print(result.table().render())
+    front = result.pareto()
+    print()
+    print(f"pareto front ({len(front)}/{len(result)}): "
+          + ", ".join(r.label for r in front))
+    print(f"wrote {json_path} and {csv_path}")
 
 
 def cmd_evaluate(args: argparse.Namespace) -> None:
     accelerator = ReGraphX()
     scale = args.scale or DEFAULT_SCALES[args.dataset]
     print(f"building {args.dataset} workload at scale {scale} ...")
-    workload = accelerator.build_workload(args.dataset, scale=scale, seed=args.seed)
+    workload = accelerator.build_workload(
+        args.dataset, scale=scale, seed=args.seed or 0
+    )
     report = accelerator.evaluate(workload, multicast=not args.unicast)
     comparison = compare_with_gpu(report)
     print(f"worst-stage computation:   {format_seconds(report.worst_compute)}")
@@ -53,7 +94,7 @@ def cmd_evaluate(args: argparse.Namespace) -> None:
 
 def cmd_thermal(args: argparse.Namespace) -> None:
     accelerator = ReGraphX()
-    workload = accelerator.build_workload("reddit", scale=0.02, seed=args.seed)
+    workload = accelerator.build_workload("reddit", scale=0.02, seed=args.seed or 0)
     report = accelerator.evaluate(workload)
     powers = tier_powers_from_report(report)
     model = ThermalModel()
@@ -67,17 +108,33 @@ def cmd_thermal(args: argparse.Namespace) -> None:
           f"{model.max_feasible_tiers(per_tier)}")
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="ReGraphX reproduction toolkit"
     )
-    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="RNG seed (default 0; for sweep, overrides the preset's base seed)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("info", help="architecture + dataset summaries")
 
     exp = sub.add_parser("experiments", help="regenerate paper tables/figures")
-    exp.add_argument("names", nargs="*", choices=list(ALL_EXPERIMENTS) + [[]])
+    exp.add_argument(
+        "names", nargs="*", metavar="NAME",
+        help=f"experiments to run (default all): {', '.join(ALL_EXPERIMENTS)}",
+    )
+    exp.add_argument(
+        "--jobs", type=_positive_int, default=1, help="worker processes (default 1)"
+    )
 
     ev = sub.add_parser("evaluate", help="full-system evaluation of one dataset")
     ev.add_argument("dataset", choices=dataset_names())
@@ -85,6 +142,28 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--unicast", action="store_true", help="disable multicast")
 
     sub.add_parser("thermal", help="3D-stack thermal feasibility study")
+
+    sweep = sub.add_parser(
+        "sweep", help="run a declarative scenario campaign (cached, parallel)"
+    )
+    sweep.add_argument("--preset", choices=preset_names(), default=None)
+    sweep.add_argument(
+        "--jobs", type=_positive_int, default=1, help="worker processes (default 1)"
+    )
+    sweep.add_argument(
+        "--out", default="results", help="artifact directory (default results/)"
+    )
+    sweep.add_argument(
+        "--cache", default=DEFAULT_ROOT,
+        help=f"result store root (default {DEFAULT_ROOT}/)",
+    )
+    sweep.add_argument(
+        "--no-cache", action="store_true",
+        help="re-evaluate everything; do not read or write the store",
+    )
+    sweep.add_argument(
+        "--list-presets", action="store_true", help="list presets and exit"
+    )
     return parser
 
 
@@ -95,6 +174,7 @@ def main(argv: list[str] | None = None) -> None:
         "experiments": cmd_experiments,
         "evaluate": cmd_evaluate,
         "thermal": cmd_thermal,
+        "sweep": cmd_sweep,
     }[args.command]
     handler(args)
 

@@ -1,0 +1,190 @@
+"""Campaign execution: evaluate scenarios serially or across processes.
+
+The executor is the single funnel every sweep goes through — DSE sweeps,
+CLI campaigns, tests.  For each scenario it first consults the
+content-addressed :class:`~repro.campaign.store.ResultStore` (a hit costs
+one JSON read), then fans the remaining evaluations out over a
+``ProcessPoolExecutor`` (``jobs > 1``) or runs them inline.  Results come
+back in scenario order regardless of completion order, so parallel and
+serial runs are bit-identical.
+
+Determinism: every scenario carries its own seed (part of its content
+hash), and each evaluation builds its workload and mapping from that seed
+alone — worker processes share no RNG state.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Sequence
+
+from repro.campaign.results import CampaignResult, ScenarioRecord
+from repro.campaign.spec import CampaignSpec, Scenario
+from repro.campaign.store import ResultStore, scenario_key
+from repro.core.accelerator import ReGraphX
+from repro.core.config import ReGraphXConfig
+from repro.core.thermal import ThermalModel, ThermalSpec, tier_powers_from_report
+
+ProgressFn = Callable[[str], None]
+
+
+def evaluate_scenario(
+    scenario: Scenario,
+    base_config: ReGraphXConfig | None = None,
+    thermal: ThermalSpec | None = None,
+    key: str | None = None,
+) -> ScenarioRecord:
+    """Evaluate one scenario end to end (timing, energy, thermals).
+
+    This is the leaf evaluator — module-level so process pools can pickle
+    it — and the superset of the DSE ``evaluate_design`` path: it honours
+    the scenario's multicast/SA flags and batch-size override.
+    """
+    start = time.perf_counter()
+    config = scenario.to_config(base_config)
+    accelerator = ReGraphX(config)
+    workload = accelerator.build_workload(
+        scenario.dataset,
+        scale=scenario.effective_scale,
+        seed=scenario.seed,
+        batch_size=scenario.batch_size,
+    )
+    report = accelerator.evaluate(
+        workload,
+        multicast=scenario.multicast,
+        use_sa=scenario.use_sa,
+        seed=scenario.seed,
+    )
+    profile = ThermalModel(thermal).steady_state(tier_powers_from_report(report))
+    return ScenarioRecord(
+        label=scenario.display_label,
+        key=key if key is not None else scenario_key(scenario, base_config),
+        scenario=scenario.describe(),
+        epoch_seconds=report.epoch_seconds,
+        epoch_energy_joules=report.epoch_energy,
+        peak_celsius=profile.peak_celsius,
+        thermally_feasible=profile.feasible,
+        worst_compute_seconds=report.worst_compute,
+        worst_communication_seconds=report.worst_communication,
+        energy_per_input_joules=report.energy_per_input,
+        num_inputs=report.pipeline.num_inputs,
+        eval_seconds=time.perf_counter() - start,
+        cached=False,
+    )
+
+
+def run_scenarios(
+    scenarios: Sequence[Scenario],
+    base_config: ReGraphXConfig | None = None,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+    progress: ProgressFn | None = None,
+    name: str = "campaign",
+) -> CampaignResult:
+    """Run ``scenarios``, reusing stored results and fanning out misses.
+
+    Args:
+        scenarios: evaluation points, already labelled and seeded.
+        base_config: architecture every scenario's overrides apply to.
+        jobs: worker processes for cache misses (``<= 1`` runs inline).
+        store: result cache; ``None`` disables persistence entirely.
+        progress: per-scenario callback (e.g. ``print``).
+        name: campaign name carried into the result.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    scenarios = list(scenarios)
+    started = time.perf_counter()
+    keys = [scenario_key(s, base_config) for s in scenarios]
+    records: list[ScenarioRecord | None] = [None] * len(scenarios)
+
+    pending: list[int] = []
+    for i, (scenario, key) in enumerate(zip(scenarios, keys)):
+        stored = store.get(key) if store is not None else None
+        if stored is not None:
+            records[i] = _relabel(
+                ScenarioRecord.from_dict(stored, cached=True), scenario
+            )
+        else:
+            pending.append(i)
+    hits = len(scenarios) - len(pending)
+
+    done = 0
+    total = len(scenarios)
+
+    def report(record: ScenarioRecord) -> None:
+        nonlocal done
+        done += 1
+        if progress is not None:
+            status = "cache hit" if record.cached else f"{record.eval_seconds:.1f}s"
+            progress(f"[{done}/{total}] {record.label}  ({status})")
+
+    for i in range(len(scenarios)):
+        if records[i] is not None:
+            report(records[i])
+
+    if pending and jobs > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {
+                pool.submit(evaluate_scenario, scenarios[i], base_config, None, keys[i]): i
+                for i in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    i = futures[future]
+                    record = future.result()
+                    records[i] = record
+                    if store is not None:
+                        store.put(keys[i], record.to_dict())
+                    report(record)
+    else:
+        for i in pending:
+            record = evaluate_scenario(scenarios[i], base_config, key=keys[i])
+            records[i] = record
+            if store is not None:
+                store.put(keys[i], record.to_dict())
+            report(record)
+
+    assert all(r is not None for r in records)
+    return CampaignResult(
+        name=name,
+        records=list(records),  # type: ignore[arg-type]
+        hits=hits,
+        misses=len(pending),
+        elapsed_seconds=time.perf_counter() - started,
+    )
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+    progress: ProgressFn | None = None,
+) -> CampaignResult:
+    """Enumerate a :class:`CampaignSpec` and run it through the engine."""
+    return run_scenarios(
+        spec.scenarios(),
+        base_config=spec.base_config,
+        jobs=jobs,
+        store=store,
+        progress=progress,
+        name=spec.name,
+    )
+
+
+def _relabel(record: ScenarioRecord, scenario: Scenario) -> ScenarioRecord:
+    """Carry the *current* display label on a cached record.
+
+    Labels are presentation, not content — two sweeps may name the same
+    architecture point differently, and each should see its own name.
+    """
+    if record.label == scenario.display_label:
+        return record
+    from dataclasses import replace
+
+    described = dict(record.scenario)
+    described["label"] = scenario.display_label
+    return replace(record, label=scenario.display_label, scenario=described)

@@ -1,0 +1,102 @@
+"""Named campaign presets for ``python -m repro sweep``.
+
+Each preset is a ready-to-run :class:`~repro.campaign.spec.CampaignSpec`
+around the paper's design point.  Workload defaults are laptop-friendly
+(PPI at scale 0.05 evaluates in ~1 s), so even the 24-scenario presets
+finish in well under a minute with ``--jobs 4`` — and near-instantly on a
+warm cache.
+"""
+
+from __future__ import annotations
+
+from repro.campaign.spec import CampaignSpec, Scenario
+from repro.utils.units import GHZ
+
+_BASE = Scenario(dataset="ppi", scale=0.05, seed=0)
+
+
+def _build_presets() -> dict[str, CampaignSpec]:
+    return {
+        "tiers": CampaignSpec(
+            name="tiers",
+            base=_BASE,
+            axes=(
+                ("tiers", (2, 3, 4, 5)),
+                ("noc_clock_hz", (0.2 * GHZ, 0.4 * GHZ, 0.8 * GHZ)),
+                ("multicast", (True, False)),
+            ),
+            description=(
+                "3D stacking study: tier count x NoC clock x multicast "
+                "(24 scenarios; quantifies the paper's future-work axis)"
+            ),
+        ),
+        "mesh": CampaignSpec(
+            name="mesh",
+            base=_BASE,
+            axes=(
+                ("mesh_width", (4, 6, 8, 10, 12)),
+                ("multicast", (True, False)),
+            ),
+            description="planar footprint sweep at fixed 3-tier stack",
+        ),
+        "noc": CampaignSpec(
+            name="noc",
+            base=_BASE,
+            axes=(
+                ("noc_clock_hz", (0.1 * GHZ, 0.2 * GHZ, 0.4 * GHZ, 0.8 * GHZ, 1.6 * GHZ)),
+                ("multicast", (True, False)),
+            ),
+            description="NoC clock scaling, multicast vs unicast",
+        ),
+        "datasets": CampaignSpec(
+            name="datasets",
+            base=Scenario(seed=0),  # scale=None -> per-dataset defaults
+            axes=(
+                ("dataset", ("ppi", "reddit", "amazon2m")),
+                ("multicast", (True, False)),
+            ),
+            description="all Table II datasets at default scales",
+        ),
+        "mapping": CampaignSpec(
+            name="mapping",
+            base=_BASE,
+            axes=(
+                ("use_sa", (False, True)),
+                ("multicast", (True, False)),
+            ),
+            description="SA stage placement vs contiguous, x multicast",
+        ),
+        "seeds": CampaignSpec(
+            name="seeds",
+            base=_BASE,
+            axes=(("seed", tuple(range(8))),),
+            description="replicate study: 8 generation/partition seeds",
+        ),
+        "full": CampaignSpec(
+            name="full",
+            base=_BASE,
+            axes=(
+                ("tiers", (2, 3, 4)),
+                ("mesh_width", (6, 8)),
+                ("noc_clock_hz", (0.2 * GHZ, 0.4 * GHZ)),
+                ("multicast", (True, False)),
+            ),
+            description="joint stack x footprint x clock x multicast (24)",
+        ),
+    }
+
+
+PRESETS: dict[str, CampaignSpec] = _build_presets()
+
+
+def preset_names() -> list[str]:
+    return sorted(PRESETS)
+
+
+def get_preset(name: str) -> CampaignSpec:
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown preset {name!r}; choose from {preset_names()}"
+        ) from None

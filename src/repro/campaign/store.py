@@ -1,0 +1,107 @@
+"""Content-addressed result store backing campaign runs.
+
+Records live under ``<root>/campaigns/<key[:2]>/<key>.json`` where ``key``
+is the SHA-256 of the scenario's canonical content (materialized
+architecture config + workload knobs + seed + evaluation flags + schema
+version — see :func:`scenario_key`).  Identical scenarios therefore hit
+the same file across campaigns, processes and sessions; any model change
+that should invalidate results bumps ``spec.SCHEMA_VERSION``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from repro.campaign.spec import SCHEMA_VERSION, Scenario
+from repro.core.config import ReGraphXConfig
+from repro.utils.hashing import stable_digest
+
+DEFAULT_ROOT = ".repro_cache"
+
+
+def scenario_key(
+    scenario: Scenario, base_config: ReGraphXConfig | None = None
+) -> str:
+    """Content hash of everything that determines a scenario's outcome.
+
+    The *materialized* config is hashed (not the override knobs), so two
+    scenarios that describe the same architecture differently — e.g. an
+    explicit ``scale`` equal to the dataset default — share one record.
+    The display label deliberately does not participate.
+    """
+    return stable_digest(
+        {
+            "schema": SCHEMA_VERSION,
+            "config": scenario.to_config(base_config),
+            "dataset": scenario.dataset,
+            "scale": scenario.effective_scale,
+            "seed": scenario.seed,
+            "batch_size": scenario.batch_size,
+            "multicast": scenario.multicast,
+            "use_sa": scenario.use_sa,
+        }
+    )
+
+
+class ResultStore:
+    """Persistent scenario-result cache keyed by content hash."""
+
+    def __init__(self, root: str | Path = DEFAULT_ROOT) -> None:
+        self.root = Path(root)
+
+    @property
+    def campaigns_dir(self) -> Path:
+        return self.root / "campaigns"
+
+    def path_for(self, key: str) -> Path:
+        return self.campaigns_dir / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The stored record for ``key``, or None (missing or corrupt)."""
+        path = self.path_for(key)
+        try:
+            return json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def put(self, key: str, record: dict[str, Any]) -> Path:
+        """Atomically persist ``record`` under ``key``."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(record, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def __len__(self) -> int:
+        if not self.campaigns_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.campaigns_dir.glob("*/*.json"))
+
+    def keys(self) -> list[str]:
+        if not self.campaigns_dir.is_dir():
+            return []
+        return sorted(p.stem for p in self.campaigns_dir.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every stored record; returns how many were removed."""
+        removed = 0
+        for path in list(self.campaigns_dir.glob("*/*.json")):
+            path.unlink()
+            removed += 1
+        return removed

@@ -4,15 +4,26 @@ The paper fixes one design point (8x8x3); this module sweeps the
 architectural knobs around it — tier count (with the thermal model keeping
 score), mesh footprint, NoC clock — and extracts the Pareto-efficient
 designs on (epoch time, epoch energy, peak temperature).
+
+Since the campaign engine landed, every sweep here is a thin declarative
+wrapper: scenarios go through :func:`repro.campaign.executor.run_scenarios`,
+which adds process-parallel fan-out (``jobs``) and content-addressed result
+caching (``store``) for free.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from repro.core.accelerator import ReGraphX, Workload
 from repro.core.config import ReGraphXConfig
-from repro.core.thermal import ThermalModel, ThermalSpec, tier_powers_from_report
+from repro.core.thermal import ThermalSpec
+
+# The campaign engine imports the core evaluation stack, so dse (imported
+# by ``repro.core.__init__``) pulls it in lazily inside each function to
+# keep the package import graph acyclic from every entry point.
+if TYPE_CHECKING:
+    from repro.campaign.store import ResultStore
 
 
 @dataclass(frozen=True)
@@ -38,20 +49,29 @@ def evaluate_design(
     label: str,
     seed: int = 0,
     thermal: ThermalSpec | None = None,
+    multicast: bool = True,
+    use_sa: bool = False,
 ) -> DesignPoint:
     """Evaluate one configuration end to end (timing, energy, thermals)."""
-    accelerator = ReGraphX(config)
-    workload = accelerator.build_workload(workload_dataset, scale=scale, seed=seed)
-    report = accelerator.evaluate(workload, multicast=True, use_sa=False)
-    model = ThermalModel(thermal)
-    profile = model.steady_state(tier_powers_from_report(report))
+    from repro.campaign.executor import evaluate_scenario
+    from repro.campaign.spec import Scenario
+
+    scenario = Scenario(
+        dataset=workload_dataset,
+        scale=scale,
+        seed=seed,
+        multicast=multicast,
+        use_sa=use_sa,
+        label=label,
+    )
+    record = evaluate_scenario(scenario, base_config=config, thermal=thermal)
     return DesignPoint(
         label=label,
         config=config,
-        epoch_seconds=report.epoch_seconds,
-        epoch_energy_joules=report.epoch_energy,
-        peak_celsius=profile.peak_celsius,
-        thermally_feasible=profile.feasible,
+        epoch_seconds=record.epoch_seconds,
+        epoch_energy_joules=record.epoch_energy_joules,
+        peak_celsius=record.peak_celsius,
+        thermally_feasible=record.thermally_feasible,
     )
 
 
@@ -61,35 +81,42 @@ def sweep_tiers(
     scale: float = 0.02,
     base: ReGraphXConfig | None = None,
     seed: int = 0,
+    jobs: int = 1,
+    store: ResultStore | None = None,
 ) -> list[DesignPoint]:
     """Sweep the number of stacked tiers (paper future work, quantified).
 
     Each configuration keeps one V tier in the middle of the stack; extra
     tiers add E-PE capacity (fewer E rounds) but raise the stack's peak
-    temperature.  The total chip static power scales with the tile count.
+    temperature.  The total chip static power scales with the tile count
+    (the campaign layer's ``Scenario.to_config`` convention).
     """
+    from repro.campaign.analysis import to_design_point
+    from repro.campaign.executor import run_scenarios
+    from repro.campaign.spec import Scenario
+
     if not tier_counts:
         raise ValueError("need at least one tier count")
     if any(t < 2 for t in tier_counts):
         raise ValueError("a ReGraphX stack needs at least 2 tiers")
     base = base or ReGraphXConfig()
-    base_tiles = base.num_v_tiles + base.num_e_tiles
-    points = []
-    for tiers in tier_counts:
-        config = replace(base, tiers=tiers, v_tier=tiers // 2)
-        # Static power scales with the physical tile count.
-        tiles = config.num_v_tiles + config.num_e_tiles
-        energy = replace(
-            base.energy,
-            static_power_watts=base.energy.static_power_watts * tiles / base_tiles,
+    scenarios = [
+        Scenario(
+            dataset=workload_dataset,
+            scale=scale,
+            seed=seed,
+            tiers=tiers,
+            label=f"{tiers}-tier",
         )
-        config = replace(config, energy=energy)
-        points.append(
-            evaluate_design(
-                config, workload_dataset, scale, label=f"{tiers}-tier", seed=seed
-            )
-        )
-    return points
+        for tiers in tier_counts
+    ]
+    result = run_scenarios(
+        scenarios, base_config=base, jobs=jobs, store=store, name="sweep-tiers"
+    )
+    return [
+        to_design_point(record, base_config=base, scenario=scenario)
+        for scenario, record in zip(scenarios, result.records)
+    ]
 
 
 def sweep_mesh(
@@ -98,34 +125,43 @@ def sweep_mesh(
     scale: float = 0.02,
     base: ReGraphXConfig | None = None,
     seed: int = 0,
+    jobs: int = 1,
+    store: ResultStore | None = None,
 ) -> list[DesignPoint]:
     """Sweep the planar mesh footprint at fixed tier count."""
+    from repro.campaign.analysis import to_design_point
+    from repro.campaign.executor import run_scenarios
+    from repro.campaign.spec import Scenario
+
     if not widths:
         raise ValueError("need at least one width")
     base = base or ReGraphXConfig()
-    base_tiles = base.num_v_tiles + base.num_e_tiles
-    points = []
-    for width in widths:
-        config = replace(base, mesh_width=width, mesh_height=width)
-        tiles = config.num_v_tiles + config.num_e_tiles
-        energy = replace(
-            base.energy,
-            static_power_watts=base.energy.static_power_watts * tiles / base_tiles,
+    scenarios = [
+        Scenario(
+            dataset=workload_dataset,
+            scale=scale,
+            seed=seed,
+            mesh_width=width,
+            mesh_height=width,
+            label=f"{width}x{width}",
         )
-        config = replace(config, energy=energy)
-        points.append(
-            evaluate_design(
-                config, workload_dataset, scale, label=f"{width}x{width}", seed=seed
-            )
-        )
-    return points
+        for width in widths
+    ]
+    result = run_scenarios(
+        scenarios, base_config=base, jobs=jobs, store=store, name="sweep-mesh"
+    )
+    return [
+        to_design_point(record, base_config=base, scenario=scenario)
+        for scenario, record in zip(scenarios, result.records)
+    ]
 
 
 def pareto_front(points: list[DesignPoint]) -> list[DesignPoint]:
     """Pareto-efficient subset on (epoch time, energy, peak temperature).
 
     A point is dominated if another point is no worse on all three axes
-    and strictly better on at least one.
+    and strictly better on at least one.  Duplicate points never dominate
+    each other, so exact ties all survive.
     """
 
     def dominates(a: DesignPoint, b: DesignPoint) -> bool:

@@ -1,15 +1,23 @@
 """Run every experiment and print the paper's tables/figures as text.
 
+Experiments live in the :data:`EXPERIMENTS` registry — a name-to-callable
+map consumed by this runner, the ``python -m repro experiments`` CLI and
+the campaign engine alike.  Each entry takes a seed and returns the
+rendered table text.
+
 Usage::
 
-    python -m repro.experiments.runner           # everything
-    python -m repro.experiments.runner fig7 fig8 # a subset
+    python -m repro.experiments.runner                    # everything
+    python -m repro.experiments.runner fig7 fig8          # a subset
+    python -m repro.experiments.runner --seed 3 --jobs 4  # parallel, seeded
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
 import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable
 
 from repro.experiments.fig3_zeros import run_fig3
 from repro.experiments.fig5_accuracy import run_fig5
@@ -18,48 +26,112 @@ from repro.experiments.fig7_noc import run_fig7
 from repro.experiments.fig8_fullsystem import run_fig8
 from repro.experiments.tables import table1_parameters, table2_datasets
 
-ALL_EXPERIMENTS = ("table1", "table2", "fig3", "fig5", "fig6", "fig7", "fig8")
+
+def _table1(seed: int) -> str:
+    return table1_parameters().render()
 
 
-def run(names: list[str] | None = None, seed: int = 0) -> dict[str, str]:
-    """Run the selected experiments; returns {name: rendered table}."""
-    names = names or list(ALL_EXPERIMENTS)
-    unknown = set(names) - set(ALL_EXPERIMENTS)
+def _table2(seed: int) -> str:
+    return table2_datasets().render()
+
+
+def _fig3(seed: int) -> str:
+    return run_fig3(seed=seed).table().render()
+
+
+def _fig5(seed: int) -> str:
+    return run_fig5(seed=seed).table().render()
+
+
+def _fig6(seed: int) -> str:
+    return run_fig6(seed=seed).table().render()
+
+
+def _fig7(seed: int) -> str:
+    return run_fig7(seed=seed).table().render()
+
+
+def _fig8(seed: int) -> str:
+    result = run_fig8(seed=seed)
+    summary = (
+        f"\naverage speedup {result.mean_speedup:.2f} "
+        f"(paper: ~3X), max {result.max_speedup:.2f} (paper: up to 3.5X)"
+        f"\naverage energy savings {result.mean_energy_ratio:.2f} "
+        f"(paper: up to ~11X)"
+        f"\naverage EDP improvement {result.mean_edp_improvement:.1f} "
+        f"(paper: ~34X average, up to 40X)"
+    )
+    return result.table().render() + summary
+
+
+#: Experiment registry: name -> callable(seed) -> rendered text.
+EXPERIMENTS: dict[str, Callable[[int], str]] = {
+    "table1": _table1,
+    "table2": _table2,
+    "fig3": _fig3,
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "fig8": _fig8,
+}
+
+ALL_EXPERIMENTS = tuple(EXPERIMENTS)
+
+
+def _run_one(name: str, seed: int) -> tuple[str, str, float]:
+    """Worker: run one registry entry (top level so pools can pickle it)."""
+    start = time.time()
+    text = EXPERIMENTS[name](seed)
+    return name, text, time.time() - start
+
+
+def run(
+    names: list[str] | None = None, seed: int = 0, jobs: int = 1
+) -> dict[str, str]:
+    """Run the selected experiments; returns {name: rendered table}.
+
+    With ``jobs > 1`` the experiments fan out across processes; output
+    order still follows the requested order.
+    """
+    names = list(names or ALL_EXPERIMENTS)
+    unknown = set(names) - set(EXPERIMENTS)
     if unknown:
         raise ValueError(f"unknown experiments: {sorted(unknown)}")
     out: dict[str, str] = {}
-    for name in names:
-        start = time.time()
-        if name == "table1":
-            out[name] = table1_parameters().render()
-        elif name == "table2":
-            out[name] = table2_datasets().render()
-        elif name == "fig3":
-            out[name] = run_fig3(seed=seed).table().render()
-        elif name == "fig5":
-            out[name] = run_fig5(seed=seed).table().render()
-        elif name == "fig6":
-            out[name] = run_fig6(seed=seed).table().render()
-        elif name == "fig7":
-            out[name] = run_fig7(seed=seed).table().render()
-        elif name == "fig8":
-            result = run_fig8(seed=seed)
-            summary = (
-                f"\naverage speedup {result.mean_speedup:.2f} "
-                f"(paper: ~3X), max {result.max_speedup:.2f} (paper: up to 3.5X)"
-                f"\naverage energy savings {result.mean_energy_ratio:.2f} "
-                f"(paper: up to ~11X)"
-                f"\naverage EDP improvement {result.mean_edp_improvement:.1f} "
-                f"(paper: ~34X average, up to 40X)"
-            )
-            out[name] = result.table().render() + summary
-        out[name] += f"\n[{time.time() - start:.1f}s]"
+    if jobs > 1 and len(names) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
+            futures = [pool.submit(_run_one, name, seed) for name in names]
+            results = {name: (text, elapsed)
+                       for name, text, elapsed in (f.result() for f in futures)}
+        for name in names:
+            text, elapsed = results[name]
+            out[name] = f"{text}\n[{elapsed:.1f}s]"
+    else:
+        for name in names:
+            _, text, elapsed = _run_one(name, seed)
+            out[name] = f"{text}\n[{elapsed:.1f}s]"
     return out
 
 
 def main(argv: list[str] | None = None) -> None:
-    names = list(argv if argv is not None else sys.argv[1:]) or None
-    for name, text in run(names).items():
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="regenerate the paper's tables and figures",
+    )
+    parser.add_argument(
+        "names", nargs="*", metavar="NAME",
+        help=f"experiments to run (default all): {', '.join(ALL_EXPERIMENTS)}",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (default 1)"
+    )
+    args = parser.parse_args(argv)
+    try:
+        results = run(args.names or None, seed=args.seed, jobs=args.jobs)
+    except ValueError as error:
+        parser.error(str(error))
+    for _, text in results.items():
         print()
         print(text)
 

@@ -1,5 +1,7 @@
-"""Shared utilities: deterministic RNG handling, unit helpers, formatting."""
+"""Shared utilities: deterministic RNG handling, unit helpers, formatting,
+canonical hashing for content-addressed caching."""
 
+from repro.utils.hashing import canonical_json, stable_digest, stable_seed
 from repro.utils.rng import rng_from_seed, spawn_rngs
 from repro.utils.units import (
     GHZ,
@@ -17,6 +19,9 @@ from repro.utils.units import (
 )
 
 __all__ = [
+    "canonical_json",
+    "stable_digest",
+    "stable_seed",
     "rng_from_seed",
     "spawn_rngs",
     "KILO",

@@ -1,0 +1,53 @@
+"""Canonical serialization and stable content hashing.
+
+The campaign result store keys every evaluation by a digest of *what was
+evaluated* (architecture configuration + workload + seed + flags).  Python's
+built-in ``hash`` is salted per process, so content addressing needs an
+explicit canonical form: deterministic JSON (sorted keys, no whitespace
+variance) fed through SHA-256.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any
+
+
+def canonical_json(value: Any) -> str:
+    """Render ``value`` as deterministic JSON.
+
+    Dataclasses are converted with :func:`dataclasses.asdict`; keys are
+    sorted and floats keep ``repr`` precision, so two structurally equal
+    values always produce the same string across processes and sessions.
+    """
+    return json.dumps(_plain(value), sort_keys=True, separators=(",", ":"))
+
+
+def stable_digest(value: Any) -> str:
+    """Hex SHA-256 of the canonical JSON form of ``value``."""
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()
+
+
+def stable_seed(*parts: Any, bits: int = 32) -> int:
+    """Derive a deterministic integer seed from arbitrary hashable parts.
+
+    Unlike ``hash()`` this is stable across processes, so parallel workers
+    and re-runs derive identical per-scenario seeds.
+    """
+    digest = stable_digest(list(parts))
+    return int(digest, 16) % (1 << bits)
+
+
+def _plain(value: Any) -> Any:
+    """Recursively reduce ``value`` to JSON-serializable primitives."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _plain(getattr(value, f.name)) for f in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(f"cannot canonicalize {type(value).__name__}: {value!r}")

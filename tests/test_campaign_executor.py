@@ -1,0 +1,147 @@
+"""Tests for the campaign executor: caching, parallelism, determinism.
+
+The scenarios here use PPI at scale 0.05 (the cheapest real workload) and
+one shared module-scoped first run, so the whole file costs only a
+handful of evaluations.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign.executor import run_campaign, run_scenarios
+from repro.campaign.results import CampaignResult, ScenarioRecord
+from repro.campaign.spec import CampaignSpec, Scenario
+from repro.campaign.store import ResultStore
+
+SCENARIOS = [
+    Scenario(dataset="ppi", scale=0.05, tiers=2, label="2-tier"),
+    Scenario(dataset="ppi", scale=0.05, tiers=3, label="3-tier"),
+    Scenario(dataset="ppi", scale=0.05, tiers=3, multicast=False, label="3-tier-uni"),
+]
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    return ResultStore(tmp_path_factory.mktemp("repro_cache"))
+
+
+@pytest.fixture(scope="module")
+def first_run(store):
+    return run_scenarios(SCENARIOS, store=store, name="exec-test")
+
+
+class TestCaching:
+    def test_first_run_evaluates_everything(self, first_run, store):
+        assert first_run.misses == len(SCENARIOS)
+        assert first_run.hits == 0
+        assert not any(r.cached for r in first_run.records)
+        assert len(store) == len(SCENARIOS)
+
+    def test_second_run_is_pure_cache_hits(self, first_run, store, monkeypatch):
+        # Prove "zero re-evaluations": any evaluation would blow up.
+        def boom(*args, **kwargs):
+            raise AssertionError("cache hit expected; evaluator was called")
+
+        monkeypatch.setattr("repro.campaign.executor.evaluate_scenario", boom)
+        second = run_scenarios(SCENARIOS, store=store, name="exec-test")
+        assert second.hits == len(SCENARIOS)
+        assert second.misses == 0
+        assert all(r.cached for r in second.records)
+        assert [r.metrics() for r in second.records] == [
+            r.metrics() for r in first_run.records
+        ]
+        assert [r.key for r in second.records] == [r.key for r in first_run.records]
+
+    def test_no_store_never_persists(self, tmp_path):
+        result = run_scenarios(SCENARIOS[:1], store=None, name="volatile")
+        assert result.misses == 1
+        # And an unrelated store directory stays empty.
+        assert len(ResultStore(tmp_path)) == 0
+
+    def test_cache_shared_across_campaign_shapes(self, first_run, store, monkeypatch):
+        """A CampaignSpec naming the same points reuses the sweep's records."""
+
+        def boom(*args, **kwargs):
+            raise AssertionError("cross-campaign cache hit expected")
+
+        monkeypatch.setattr("repro.campaign.executor.evaluate_scenario", boom)
+        spec = CampaignSpec(
+            name="reshaped",
+            base=Scenario(dataset="ppi", scale=0.05),
+            axes=(("tiers", (2, 3)),),
+        )
+        result = run_campaign(spec, store=store)
+        assert result.hits == 2 and result.misses == 0
+        # Cached records carry the *current* campaign's labels.
+        assert [r.label for r in result.records] == [
+            s.display_label for s in spec.scenarios()
+        ]
+
+    def test_records_in_scenario_order(self, first_run):
+        assert [r.label for r in first_run.records] == [
+            s.label for s in SCENARIOS
+        ]
+
+
+class TestParallel:
+    def test_parallel_matches_serial(self, first_run, tmp_path):
+        parallel = run_scenarios(
+            SCENARIOS,
+            jobs=2,
+            store=ResultStore(tmp_path / "fresh"),
+            name="exec-test",
+        )
+        assert parallel.misses == len(SCENARIOS)
+        assert [r.label for r in parallel.records] == [
+            r.label for r in first_run.records
+        ]
+        assert [r.metrics() for r in parallel.records] == [
+            r.metrics() for r in first_run.records
+        ]
+        assert [r.key for r in parallel.records] == [
+            r.key for r in first_run.records
+        ]
+
+    def test_jobs_validated(self):
+        with pytest.raises(ValueError, match="jobs"):
+            run_scenarios(SCENARIOS, jobs=0)
+
+
+class TestProgressAndExport:
+    def test_progress_reports_every_scenario(self, store):
+        lines = []
+        run_scenarios(SCENARIOS, store=store, progress=lines.append)
+        assert len(lines) == len(SCENARIOS)
+        assert all("cache hit" in line for line in lines)
+
+    def test_json_export_roundtrip(self, first_run, tmp_path):
+        path = first_run.to_json(tmp_path / "out" / "campaign.json")
+        payload = json.loads(path.read_text())
+        assert payload["campaign"] == "exec-test"
+        assert payload["num_scenarios"] == len(SCENARIOS)
+        reloaded = CampaignResult.from_json(path)
+        assert [r.metrics() for r in reloaded.records] == [
+            r.metrics() for r in first_run.records
+        ]
+
+    def test_csv_export_one_row_per_scenario(self, first_run, tmp_path):
+        import csv
+
+        path = first_run.to_csv(tmp_path / "out" / "campaign.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(SCENARIOS)
+        assert rows[0]["label"] == "2-tier"
+        assert float(rows[0]["epoch_seconds"]) > 0
+        assert {"dataset", "tiers", "multicast", "edp"} <= set(rows[0])
+
+    def test_table_renders(self, first_run):
+        text = first_run.table().render()
+        assert "exec-test" in text and "2-tier" in text
+
+    def test_record_roundtrip_preserves_metrics(self, first_run):
+        record = first_run.records[0]
+        rebuilt = ScenarioRecord.from_dict(record.to_dict(), cached=True)
+        assert rebuilt.metrics() == record.metrics()
+        assert rebuilt.cached

@@ -1,0 +1,110 @@
+"""Tests for content-addressed scenario keys and the result store."""
+
+import pytest
+
+from repro.campaign.spec import Scenario
+from repro.campaign.store import ResultStore, scenario_key
+from repro.core.config import ReGraphXConfig
+from repro.utils.hashing import canonical_json, stable_digest, stable_seed
+
+
+class TestHashing:
+    def test_canonical_json_sorts_keys(self):
+        assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+    def test_dataclasses_canonicalize(self):
+        text = canonical_json(ReGraphXConfig())
+        assert '"mesh_width":8' in text
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(TypeError, match="canonicalize"):
+            canonical_json(object())
+
+    def test_stable_digest_stable(self):
+        assert stable_digest({"x": 1}) == stable_digest({"x": 1})
+        assert stable_digest({"x": 1}) != stable_digest({"x": 2})
+
+    def test_stable_seed_range_and_determinism(self):
+        a = stable_seed("campaign", 0, 3)
+        assert a == stable_seed("campaign", 0, 3)
+        assert 0 <= a < 2**32
+        assert a != stable_seed("campaign", 0, 4)
+
+
+class TestScenarioKey:
+    def test_deterministic(self):
+        s = Scenario(dataset="ppi", scale=0.05, tiers=4)
+        assert scenario_key(s) == scenario_key(s)
+
+    def test_every_knob_changes_the_key(self):
+        base = Scenario(dataset="ppi", scale=0.05)
+        variants = [
+            Scenario(dataset="reddit", scale=0.05),
+            Scenario(dataset="ppi", scale=0.06),
+            Scenario(dataset="ppi", scale=0.05, seed=1),
+            Scenario(dataset="ppi", scale=0.05, tiers=4),
+            Scenario(dataset="ppi", scale=0.05, mesh_width=6),
+            Scenario(dataset="ppi", scale=0.05, noc_clock_hz=2e8),
+            Scenario(dataset="ppi", scale=0.05, multicast=False),
+            Scenario(dataset="ppi", scale=0.05, use_sa=True),
+            Scenario(dataset="ppi", scale=0.05, batch_size=2),
+        ]
+        keys = {scenario_key(v) for v in variants} | {scenario_key(base)}
+        assert len(keys) == len(variants) + 1
+
+    def test_label_is_presentation_only(self):
+        a = Scenario(dataset="ppi", scale=0.05, label="one")
+        b = Scenario(dataset="ppi", scale=0.05, label="two")
+        assert scenario_key(a) == scenario_key(b)
+
+    def test_default_scale_and_explicit_equal_share_a_key(self):
+        from repro.experiments.common import DEFAULT_SCALES
+
+        implicit = Scenario(dataset="ppi")
+        explicit = Scenario(dataset="ppi", scale=DEFAULT_SCALES["ppi"])
+        assert scenario_key(implicit) == scenario_key(explicit)
+
+    def test_base_config_participates(self):
+        s = Scenario(dataset="ppi", scale=0.05)
+        custom = ReGraphXConfig(num_layers=2)
+        assert scenario_key(s) != scenario_key(s, base_config=custom)
+
+
+class TestResultStore:
+    def test_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "ab" + "0" * 62
+        assert store.get(key) is None
+        assert key not in store
+        store.put(key, {"epoch_seconds": 1.5})
+        assert key in store
+        assert store.get(key) == {"epoch_seconds": 1.5}
+        assert len(store) == 1
+        assert store.keys() == [key]
+
+    def test_sharded_layout(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "cd" + "1" * 62
+        path = store.put(key, {})
+        assert path == tmp_path / "campaigns" / "cd" / f"{key}.json"
+        assert path.is_file()
+
+    def test_corrupt_record_reads_as_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "ef" + "2" * 62
+        store.put(key, {"ok": True})
+        store.path_for(key).write_text("{not json")
+        assert store.get(key) is None
+
+    def test_clear(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for i in range(3):
+            store.put(f"{i:02d}" + "3" * 62, {"i": i})
+        assert store.clear() == 3
+        assert len(store) == 0
+
+    def test_empty_store(self, tmp_path):
+        store = ResultStore(tmp_path / "nowhere")
+        assert len(store) == 0
+        assert store.keys() == []
+        assert store.clear() == 0

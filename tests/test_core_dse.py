@@ -34,6 +34,24 @@ class TestParetoFront:
         b = make_point("b", 1.0, 1.0, 50.0)
         assert len(pareto_front([a, b])) == 2
 
+    def test_tie_on_two_axes_still_dominates(self):
+        """Equal on time+energy but strictly cooler -> dominates."""
+        cooler = make_point("cooler", 1.0, 1.0, 50.0)
+        hotter = make_point("hotter", 1.0, 1.0, 60.0)
+        assert pareto_front([cooler, hotter]) == [cooler]
+
+    def test_many_duplicates_with_one_dominated(self):
+        dup1 = make_point("dup1", 1.0, 1.0, 50.0)
+        dup2 = make_point("dup2", 1.0, 1.0, 50.0)
+        dup3 = make_point("dup3", 1.0, 1.0, 50.0)
+        bad = make_point("bad", 2.0, 1.0, 50.0)
+        front = pareto_front([dup1, bad, dup2, dup3])
+        assert front == [dup1, dup2, dup3]
+
+    def test_single_point_front(self):
+        a = make_point("only", 3.0, 4.0, 70.0)
+        assert pareto_front([a]) == [a]
+
     def test_empty(self):
         assert pareto_front([]) == []
 
@@ -79,3 +97,31 @@ class TestMeshSweep:
     def test_validation(self):
         with pytest.raises(ValueError):
             sweep_mesh([])
+
+
+class TestSweepsThroughCampaignEngine:
+    def test_tier_sweep_uses_result_store(self, tmp_path):
+        """Sweeps ride the campaign cache: a repeat sweep re-evaluates nothing."""
+        from repro.campaign.store import ResultStore
+
+        store = ResultStore(tmp_path)
+        first = sweep_tiers(
+            [2, 3], workload_dataset="ppi", scale=0.05, seed=0, store=store
+        )
+        assert len(store) == 2
+        import repro.campaign.executor as executor
+
+        original = executor.evaluate_scenario
+        executor.evaluate_scenario = lambda *a, **k: (_ for _ in ()).throw(
+            AssertionError("expected pure cache hits")
+        )
+        try:
+            second = sweep_tiers(
+                [2, 3], workload_dataset="ppi", scale=0.05, seed=0, store=store
+            )
+        finally:
+            executor.evaluate_scenario = original
+        assert [p.label for p in second] == [p.label for p in first]
+        assert [p.epoch_seconds for p in second] == [p.epoch_seconds for p in first]
+        assert [p.peak_celsius for p in second] == [p.peak_celsius for p in first]
+        assert [p.config for p in second] == [p.config for p in first]

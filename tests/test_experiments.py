@@ -174,3 +174,41 @@ class TestRunner:
 
         with pytest.raises(ValueError, match="unknown"):
             run(["fig99"])
+
+    def test_registry_covers_all_experiments(self):
+        from repro.experiments.runner import ALL_EXPERIMENTS, EXPERIMENTS
+
+        assert tuple(EXPERIMENTS) == ALL_EXPERIMENTS
+        assert set(ALL_EXPERIMENTS) == {
+            "table1", "table2", "fig3", "fig5", "fig6", "fig7", "fig8"
+        }
+        assert all(callable(fn) for fn in EXPERIMENTS.values())
+
+    def test_run_dispatches_through_registry_with_seed(self):
+        from repro.experiments import runner
+
+        runner.EXPERIMENTS["fake"] = lambda seed: f"fake-table seed={seed}"
+        try:
+            out = runner.run(["fake"], seed=7)
+        finally:
+            del runner.EXPERIMENTS["fake"]
+        assert "seed=7" in out["fake"]
+
+    def test_parallel_matches_serial(self):
+        from repro.experiments.runner import run
+
+        serial = run(["table1", "table2"], jobs=1)
+        parallel = run(["table1", "table2"], jobs=2)
+        # Same tables in the same order (timing suffix differs).
+        assert list(serial) == list(parallel) == ["table1", "table2"]
+        strip = lambda text: text.rsplit("\n[", 1)[0]
+        assert {k: strip(v) for k, v in serial.items()} == {
+            k: strip(v) for k, v in parallel.items()
+        }
+
+    def test_main_parses_seed_and_names(self, capsys):
+        from repro.experiments.runner import main
+
+        main(["table1", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert "128x128" in out
