@@ -48,6 +48,19 @@ def _build_presets() -> dict[str, CampaignSpec]:
             ),
             description="NoC clock scaling, multicast vs unicast",
         ),
+        "nocscale": CampaignSpec(
+            name="nocscale",
+            base=_BASE,
+            axes=(
+                ("mesh_width", (6, 8, 10, 12)),
+                ("tiers", (2, 3, 4)),
+            ),
+            description=(
+                "NoC-scaling study: joint footprint x stack sweep whose "
+                "traffic traces feed the flit-level validation (the "
+                "event-driven simulator backend keeps large meshes cheap)"
+            ),
+        ),
         "datasets": CampaignSpec(
             name="datasets",
             base=Scenario(seed=0),  # scale=None -> per-dataset defaults

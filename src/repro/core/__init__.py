@@ -36,7 +36,7 @@ from repro.core.thermal import (
     ThermalSpec,
     tier_powers_from_report,
 )
-from repro.core.traffic import GNNTrafficModel
+from repro.core.traffic import GNNTrafficModel, NoCValidation, cross_validate_traffic
 
 __all__ = [
     "ReGraphXConfig",
@@ -45,6 +45,8 @@ __all__ = [
     "anneal_mapping",
     "random_mapping",
     "GNNTrafficModel",
+    "NoCValidation",
+    "cross_validate_traffic",
     "PipelineModel",
     "StageCost",
     "ReGraphX",

@@ -123,9 +123,10 @@ def tier_powers_from_report(report: ReGraphXReport) -> list[float]:
         raise ValueError("report has a zero pipeline period")
     dynamic_power = period_energy / period
     static_each = config.energy.static_power_watts / config.tiers
-    v_share = report.compute_energy_per_input and (
-        report.compute_energy_per_input / report.energy_per_input
-    )
+    if period_energy > 0:
+        v_share = report.compute_energy_per_input / period_energy
+    else:
+        v_share = 0.0  # no dynamic energy: nothing to attribute to the V tier
     # Rough role split: V compute stays on the V tier; everything else
     # (E compute, writes, NoC) splits over the E tiers.
     powers = []

@@ -374,3 +374,54 @@ class GNNTrafficModel:
         if not msgs:
             return 0.0
         return float(np.mean([len(m.dests) for m in msgs]))
+
+
+# ----------------------------------------------------------------------
+# Cross-model validation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class NoCValidation:
+    """Agreement between the static schedule and the flit-level simulator
+    on one message set (unicast expansion on both sides)."""
+
+    static_makespan_cycles: int
+    simulated_makespan_cycles: int
+    flit_hops_match: bool
+    num_messages: int
+
+    @property
+    def makespan_ratio(self) -> float:
+        """static / simulated; ~1 means the models agree, >1 means the
+        static schedule is (expectedly) more conservative."""
+        if self.simulated_makespan_cycles == 0:
+            return 1.0
+        return self.static_makespan_cycles / self.simulated_makespan_cycles
+
+
+def cross_validate_traffic(
+    topo,
+    noc_config,
+    messages: list[Message],
+    backend: str = "event",
+) -> NoCValidation:
+    """Check a message set against both NoC models (paper Sec. V.A).
+
+    Runs the static conflict-free schedule analyzer and the flit-level
+    simulator (event backend by default, so even full GNN traffic sets are
+    affordable) over the same unicast expansion and reports how closely
+    they agree.  Used by the integration suite and NoC-scaling studies to
+    confirm the scheduler's contention model on real pipeline traffic.
+    """
+    from repro.noc.schedule import StaticScheduler
+    from repro.noc.simulator import FlitSimulator
+
+    static = StaticScheduler(topo, noc_config).simulate(messages, multicast=False)
+    simulated = FlitSimulator(topo, noc_config, backend=backend).simulate(messages)
+    return NoCValidation(
+        static_makespan_cycles=static.makespan_cycles,
+        simulated_makespan_cycles=simulated.makespan_cycles,
+        flit_hops_match=(
+            simulated.link_stats.total_flit_hops == static.total_flit_hops
+        ),
+        num_messages=len(messages),
+    )

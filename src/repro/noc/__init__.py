@@ -5,8 +5,10 @@ two complementary performance models.
   scheduled, conflict-free, deterministic (Sec. V.A).  The scheduler
   serializes wormhole packets over shared links and reports makespan,
   per-message latency, link loads, and energy.
-* :mod:`repro.noc.simulator` — a flit-level, cycle-stepped wormhole
-  simulator used to validate the static scheduler on small traces.
+* :mod:`repro.noc.simulator` — a flit-level wormhole simulator used to
+  validate the static scheduler.  Two bit-identical backends: the default
+  event-driven engine (:mod:`repro.noc.events`, cost scales with
+  flit-hops) and the cycle-stepped reference oracle.
 """
 
 from repro.noc.analysis import (
@@ -22,8 +24,9 @@ from repro.noc.routing import (
     route_links,
     xyz_route,
 )
+from repro.noc.events import EventEngine, ExpandedPacket
 from repro.noc.schedule import NoCConfig, ScheduleResult, StaticScheduler
-from repro.noc.simulator import FlitSimulator
+from repro.noc.simulator import BACKENDS, FlitSimulator, SimulationResult
 from repro.noc.stats import LinkStats
 from repro.noc.topology import Mesh2D, Mesh3D
 from repro.noc.traffic_gen import (
@@ -44,6 +47,10 @@ __all__ = [
     "StaticScheduler",
     "ScheduleResult",
     "FlitSimulator",
+    "SimulationResult",
+    "BACKENDS",
+    "EventEngine",
+    "ExpandedPacket",
     "LinkStats",
     "uniform_random_traffic",
     "hotspot_traffic",

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.noc.packet import Message
 from repro.noc.schedule import NoCConfig, StaticScheduler
+from repro.noc.simulator import BACKENDS, FlitSimulator
 from repro.noc.topology import Mesh3D
 from repro.utils.rng import rng_from_seed
 
@@ -40,6 +41,7 @@ def latency_throughput_sweep(
     window_cycles: int = 2000,
     size_bits: int = 256,
     seed: int = 0,
+    backend: str = "static",
 ) -> list[SweepPoint]:
     """Average latency under uniform-random traffic at each offered rate.
 
@@ -50,6 +52,9 @@ def latency_throughput_sweep(
         window_cycles: injection window; messages arrive uniformly in it.
         size_bits: message payload.
         seed: RNG seed.
+        backend: ``"static"`` evaluates the paper's conflict-free schedule
+            analyzer; ``"event"``/``"cycle"`` run the flit-level simulator
+            instead (the event engine makes long windows affordable).
 
     Returns:
         One :class:`SweepPoint` per rate, in order.
@@ -58,6 +63,10 @@ def latency_throughput_sweep(
         raise ValueError("need at least one rate")
     if any(r <= 0 for r in rates):
         raise ValueError("rates must be positive")
+    if backend != "static" and backend not in BACKENDS:
+        raise ValueError(
+            f"backend must be 'static' or one of {BACKENDS}, got {backend!r}"
+        )
     config = config or NoCConfig()
     scheduler = StaticScheduler(topo, config)
     points: list[SweepPoint] = []
@@ -79,10 +88,17 @@ def latency_throughput_sweep(
                     msg_id=i,
                 )
             )
-        result = scheduler.simulate(messages, multicast=False)
-        latencies = [
-            result.message_finish[m.msg_id] - m.inject_cycle for m in messages
-        ]
+        if backend == "static":
+            result = scheduler.simulate(messages, multicast=False)
+            latencies = [
+                result.message_finish[m.msg_id] - m.inject_cycle for m in messages
+            ]
+        else:
+            result = FlitSimulator(topo, config, backend=backend).simulate(messages)
+            latencies = [
+                result.message_finish[(m.msg_id, m.dests[0])] - m.inject_cycle
+                for m in messages
+            ]
         points.append(
             SweepPoint(
                 offered_rate=rate,

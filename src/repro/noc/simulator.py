@@ -1,11 +1,10 @@
-"""Flit-level, cycle-stepped wormhole/cut-through simulator.
+"""Flit-level wormhole/cut-through simulator with two backends.
 
-Used to validate the static schedule analyzer on small traces: for an
-uncontended packet both models give *identical* latencies
-(``hops * hop_cycles + flits - 1`` after injection); under contention the
-dynamic simulator may finish earlier (it interleaves flits where the static
-schedule serializes whole packets), never later.  Tests assert both
-properties.
+Used to validate the static schedule analyzer: for an uncontended packet
+both models give *identical* latencies (``hops * hop_cycles + flits - 1``
+after injection); under contention the dynamic simulator may finish earlier
+(it interleaves flits where the static schedule serializes whole packets),
+never later.  Tests assert both properties.
 
 The model: deterministic XYZ routes, one flit per link per cycle, flits of
 a packet cross each link in order, a flit becomes eligible for the next
@@ -13,40 +12,61 @@ link ``hop_cycles`` after it started crossing the previous one, and a link
 is owned by a single packet from head acquisition until its tail has
 crossed (wormhole ownership with unlimited router buffering, i.e. virtual
 cut-through).  Arbitration is deterministic by message id.
+
+Two interchangeable backends implement the model:
+
+* ``"event"`` (default) — :class:`repro.noc.events.EventEngine`, a
+  priority queue of link grant/release events whose cost scales with
+  flit-hops, not elapsed cycles.  Use it for sweeps and large traces.
+* ``"cycle"`` — the original cycle-stepped loop, kept as the reference
+  oracle the event engine is differentially tested against.
+
+Both backends produce bit-identical results (finish times, makespan, and
+link statistics); ``benchmarks/test_bench_noc_sim.py`` records the
+speedup and ``tests/test_noc_events.py`` enforces the equivalence.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.noc.events import EventEngine, ExpandedPacket
 from repro.noc.packet import Message
 from repro.noc.routing import dimension_order_route, route_links
 from repro.noc.schedule import NoCConfig
 from repro.noc.stats import LinkStats
 from repro.noc.topology import Link, Mesh3D
 
+#: Valid ``backend`` arguments for :class:`FlitSimulator`.
+BACKENDS = ("event", "cycle")
+
 
 @dataclass
 class _PacketState:
-    msg: Message
-    route: list[Link]
-    flits: int
+    """Cycle-backend bookkeeping for one unicast packet."""
+
+    packet: ExpandedPacket
     acquired: int = 0  # links acquired so far
     crossed: list[int] = field(default_factory=list)  # flits crossed per link
     cross_time: list[list[int]] = field(default_factory=list)
     finish_cycle: int | None = None
 
     def __post_init__(self) -> None:
-        self.crossed = [0] * len(self.route)
-        self.cross_time = [[-1] * self.flits for _ in self.route]
+        self.crossed = [0] * len(self.packet.route)
+        self.cross_time = [[-1] * self.packet.flits for _ in self.packet.route]
 
 
 @dataclass
 class SimulationResult:
-    """Timing and link statistics from the flit-level simulation."""
+    """Timing and link statistics from the flit-level simulation.
+
+    ``message_finish`` is keyed by the caller's ``(msg_id, dest)`` pair, so
+    multicast expansion stays addressable: every destination of a multicast
+    message reports its own finish cycle under the original ``msg_id``.
+    """
 
     makespan_cycles: int
-    message_finish: dict[int, int]
+    message_finish: dict[tuple[int, int], int]
     link_stats: LinkStats
     config: NoCConfig
 
@@ -54,29 +74,102 @@ class SimulationResult:
     def makespan_seconds(self) -> float:
         return self.makespan_cycles * self.config.cycle_time
 
+    def finish_by_message(self) -> dict[int, int]:
+        """Per-``msg_id`` finish cycles (max over a multicast's destinations).
+
+        This is the granularity :class:`repro.noc.schedule.ScheduleResult`
+        reports, so it is what cross-model comparisons should use.
+        """
+        out: dict[int, int] = {}
+        for (msg_id, _), cycle in self.message_finish.items():
+            out[msg_id] = max(out.get(msg_id, 0), cycle)
+        return out
+
 
 class FlitSimulator:
-    """Cycle-stepped simulator over a mesh (unicast packets).
+    """Deterministic flit-level simulator over a mesh (unicast packets).
 
     Multicast messages are expanded into unicast packets; the static
     scheduler is the reference model for tree multicast.
+
+    Args:
+        topo: the mesh.
+        config: NoC parameters (paper defaults when omitted).
+        backend: ``"event"`` (fast, default) or ``"cycle"`` (the reference
+            oracle); both are bit-identical.
     """
 
-    def __init__(self, topo: Mesh3D, config: NoCConfig | None = None) -> None:
+    def __init__(
+        self,
+        topo: Mesh3D,
+        config: NoCConfig | None = None,
+        backend: str = "event",
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
         self.topo = topo
         self.config = config or NoCConfig()
+        self.backend = backend
 
-    def simulate(self, messages: list[Message], max_cycles: int = 1_000_000) -> SimulationResult:
-        """Run until every packet is delivered (or ``max_cycles`` elapse)."""
+    def simulate(
+        self,
+        messages: list[Message],
+        max_cycles: int = 1_000_000,
+        backend: str | None = None,
+    ) -> SimulationResult:
+        """Run until every packet is delivered.
+
+        Raises :class:`RuntimeError` if delivery does not complete within
+        ``max_cycles`` simulated cycles (cycles ``0 .. max_cycles - 1``).
+        ``backend`` overrides the instance default for this call.
+        """
+        backend = backend or self.backend
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
         cfg = self.config
-        packets: list[_PacketState] = []
-        next_id = 0
-        for msg in sorted(messages, key=lambda m: (m.inject_cycle, m.src, m.dests)):
+        packets = self._expand(messages)
+        stats = LinkStats(self.topo)
+        if not packets:
+            return SimulationResult(
+                makespan_cycles=0, message_finish={}, link_stats=stats, config=cfg
+            )
+        if backend == "event":
+            finish = EventEngine(self.topo, cfg).run(packets, stats, max_cycles)
+        else:
+            finish = self._run_cycle(packets, stats, max_cycles)
+        return SimulationResult(
+            makespan_cycles=max(finish.values()),
+            message_finish=finish,
+            link_stats=stats,
+            config=cfg,
+        )
+
+    # ------------------------------------------------------------------
+    # Multicast expansion (shared by both backends)
+    # ------------------------------------------------------------------
+    def _expand(self, messages: list[Message]) -> list[ExpandedPacket]:
+        """Expand multicasts into unicast packets in priority order.
+
+        The list index is the packet's arbitration priority (lower id wins
+        link grants), matching the static scheduler's processing order.
+        """
+        cfg = self.config
+        packets: list[ExpandedPacket] = []
+        seen: set[tuple[int, int]] = set()
+        ordered = sorted(
+            messages, key=lambda m: (m.inject_cycle, m.src, m.dests, m.msg_id)
+        )
+        for msg in ordered:
             for dst in msg.dests:
-                route = route_links(
-                    dimension_order_route(
-                        self.topo, msg.src, dst, cfg.routing_order
+                key = (msg.msg_id, dst)
+                if key in seen:
+                    raise ValueError(
+                        f"duplicate (msg_id, dest) pair {key}; message ids "
+                        f"must be unique per destination for result keying"
                     )
+                seen.add(key)
+                route = route_links(
+                    dimension_order_route(self.topo, msg.src, dst, cfg.routing_order)
                 )
                 if cfg.model_local_ports:
                     route = (
@@ -84,34 +177,42 @@ class FlitSimulator:
                         + route
                         + [self.topo.ejection_link(dst)]
                     )
-                flits = msg.num_flits(cfg.flit_bits)
-                sub = Message(
-                    src=msg.src,
-                    dests=(dst,),
-                    size_bits=msg.size_bits,
-                    inject_cycle=msg.inject_cycle,
-                    tag=msg.tag,
-                    msg_id=next_id,
+                packets.append(
+                    ExpandedPacket(
+                        key=key,
+                        inject_cycle=msg.inject_cycle,
+                        route=tuple(route),
+                        flits=msg.num_flits(cfg.flit_bits),
+                    )
                 )
-                packets.append(_PacketState(msg=sub, route=route, flits=flits))
-                next_id += 1
+        return packets
 
+    # ------------------------------------------------------------------
+    # Cycle-stepped reference backend
+    # ------------------------------------------------------------------
+    def _run_cycle(
+        self,
+        packets: list[ExpandedPacket],
+        stats: LinkStats,
+        max_cycles: int,
+    ) -> dict[tuple[int, int], int]:
+        cfg = self.config
+        states = [_PacketState(packet=p) for p in packets]
         owner: dict[Link, int] = {}
-        stats = LinkStats(self.topo)
-        pending = set(range(len(packets)))
+        pending = set(range(len(states)))
         cycle = -1
         while pending:
             cycle += 1
-            if cycle > max_cycles:
+            if cycle >= max_cycles:
                 raise RuntimeError(
                     f"simulation exceeded {max_cycles} cycles with "
                     f"{len(pending)} packets in flight"
                 )
             # Phase 1: head-flit link acquisition, deterministic priority.
             for pid in sorted(pending):
-                pkt = packets[pid]
-                while pkt.acquired < len(pkt.route):
-                    link = pkt.route[pkt.acquired]
+                pkt = states[pid]
+                while pkt.acquired < len(pkt.packet.route):
+                    link = pkt.packet.route[pkt.acquired]
                     if self._head_ready(pkt, pkt.acquired) > cycle:
                         break
                     if link in owner:
@@ -120,43 +221,41 @@ class FlitSimulator:
                     pkt.acquired += 1
             # Phase 2: flit transfers on owned links.
             for pid in sorted(pending):
-                pkt = packets[pid]
+                pkt = states[pid]
                 for i in range(pkt.acquired):
                     f = pkt.crossed[i]
-                    if f >= pkt.flits:
+                    if f >= pkt.packet.flits:
                         continue
                     if self._flit_ready(pkt, i, f) > cycle:
                         continue
                     pkt.cross_time[i][f] = cycle
                     pkt.crossed[i] += 1
-                    stats.add(pkt.route[i], 1)
-                    if pkt.crossed[i] == pkt.flits:
-                        del owner[pkt.route[i]]
+                    stats.add(pkt.packet.route[i], 1)
+                    if pkt.crossed[i] == pkt.packet.flits:
+                        del owner[pkt.packet.route[i]]
             # Phase 3: retire finished packets.
             done = [
                 pid
                 for pid in pending
-                if packets[pid].crossed and packets[pid].crossed[-1] == packets[pid].flits
+                if states[pid].crossed
+                and states[pid].crossed[-1] == states[pid].packet.flits
             ]
             for pid in done:
-                pkt = packets[pid]
+                pkt = states[pid]
                 pkt.finish_cycle = pkt.cross_time[-1][-1] + cfg.hop_cycles
                 pending.discard(pid)
             # Zero-hop packets cannot exist (Message forbids src == dst).
 
-        finish = {p.msg.msg_id: p.finish_cycle for p in packets if p.finish_cycle is not None}
-        makespan = max(finish.values(), default=0)
-        return SimulationResult(
-            makespan_cycles=makespan,
-            message_finish=finish,
-            link_stats=stats,
-            config=cfg,
-        )
+        return {
+            s.packet.key: s.finish_cycle
+            for s in states
+            if s.finish_cycle is not None
+        }
 
     def _head_ready(self, pkt: _PacketState, hop: int) -> int:
         """Earliest cycle the head flit can start crossing link ``hop``."""
         if hop == 0:
-            return pkt.msg.inject_cycle
+            return pkt.packet.inject_cycle
         t_prev = pkt.cross_time[hop - 1][0]
         if t_prev < 0:
             return 1 << 60  # head has not crossed the previous link yet
@@ -165,7 +264,7 @@ class FlitSimulator:
     def _flit_ready(self, pkt: _PacketState, hop: int, flit: int) -> int:
         """Earliest cycle flit ``flit`` can start crossing link ``hop``."""
         if hop == 0:
-            upstream = pkt.msg.inject_cycle
+            upstream = pkt.packet.inject_cycle
         else:
             t_prev = pkt.cross_time[hop - 1][flit]
             if t_prev < 0:

@@ -45,9 +45,24 @@ class LinkStats:
         """Flits on the most loaded link — the serialization bottleneck."""
         return max(self.flits.values(), default=0)
 
-    def utilization(self, makespan_cycles: int) -> float:
-        """Mean per-link occupancy over the schedule window."""
+    def utilization(
+        self, makespan_cycles: int, include_local_ports: bool | None = None
+    ) -> float:
+        """Mean per-link occupancy over the schedule window.
+
+        The denominator must count the same link population the recorded
+        flits crossed, or utilization can exceed 1.0.  With
+        ``include_local_ports=None`` (default) injection/ejection ports are
+        counted whenever local flits were recorded (i.e. the simulation ran
+        with ``model_local_ports=True``); pass ``True``/``False`` to force
+        either population.
+        """
         if makespan_cycles <= 0:
             return 0.0
+        if include_local_ports is None:
+            include_local_ports = self.local_flit_hops > 0
         num_links = len(self.topo.links())
+        if include_local_ports:
+            # One injection + one ejection port per router.
+            num_links += 2 * self.topo.num_routers
         return self.total_flit_hops / (num_links * makespan_cycles)

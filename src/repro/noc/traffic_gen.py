@@ -46,12 +46,26 @@ def hotspot_traffic(
     hotspot_fraction: float = 0.5,
     size_bits: int = 256,
     seed: int | np.random.Generator | None = 0,
+    inject_window: int = 0,
 ) -> list[Message]:
-    """Uniform traffic where a fraction of messages target one hot router."""
+    """Uniform traffic where a fraction of messages target one hot router.
+
+    The non-hotspot draw excludes the hotspot router, so exactly the
+    requested fraction of messages (in expectation) converges on it; like
+    :func:`uniform_random_traffic`, injections spread uniformly over
+    ``inject_window`` cycles.
+    """
     if not 0 <= hotspot_fraction <= 1:
         raise ValueError("hotspot_fraction must be in [0, 1]")
     if not 0 <= hotspot < topo.num_routers:
         raise IndexError(f"hotspot router {hotspot} out of range")
+    if topo.num_routers < 3 and hotspot_fraction < 1:
+        # Non-hotspot draws exclude both src and the hotspot, so a third
+        # router must exist for the redraw loop to terminate.
+        raise ValueError(
+            "hotspot traffic with a non-hotspot fraction needs at least "
+            f"3 routers, got {topo.num_routers}"
+        )
     rng = rng_from_seed(seed)
     messages = []
     for i in range(num_messages):
@@ -62,9 +76,14 @@ def hotspot_traffic(
             dst = hotspot
         else:
             dst = int(rng.integers(topo.num_routers))
-            while dst == src:
+            while dst == src or dst == hotspot:
                 dst = int(rng.integers(topo.num_routers))
-        messages.append(Message(src=src, dests=(dst,), size_bits=size_bits, msg_id=i))
+        inject = int(rng.integers(inject_window + 1))
+        messages.append(
+            Message(
+                src=src, dests=(dst,), size_bits=size_bits, inject_cycle=inject, msg_id=i
+            )
+        )
     return messages
 
 
@@ -75,27 +94,48 @@ def many_to_one_to_many_traffic(
     size_bits: int = 256,
     replies: bool = True,
     seed: int | np.random.Generator | None = 0,
+    inject_window: int = 0,
 ) -> list[Message]:
     """GNN-shaped traffic: every source multicasts to the shared sink set,
-    and (optionally) each sink multicasts a reply back to all sources."""
+    and (optionally) each sink multicasts a reply back to all sources.
+
+    The src/dest pattern is deterministic; ``inject_window > 0`` draws each
+    message's injection cycle uniformly from the window (seeded), matching
+    the other generators' sparse-in-time knob.
+    """
     if not sources or not sinks:
         raise ValueError("need at least one source and one sink")
     if set(sources) & set(sinks):
         raise ValueError("sources and sinks must be disjoint")
     rng = rng_from_seed(seed)
-    del rng  # pattern is deterministic; kept for interface symmetry
     messages = []
     msg_id = 0
+
+    def _inject() -> int:
+        return int(rng.integers(inject_window + 1)) if inject_window else 0
+
     for src in sources:
         messages.append(
-            Message(src=src, dests=tuple(sinks), size_bits=size_bits, tag="gather", msg_id=msg_id)
+            Message(
+                src=src,
+                dests=tuple(sinks),
+                size_bits=size_bits,
+                inject_cycle=_inject(),
+                tag="gather",
+                msg_id=msg_id,
+            )
         )
         msg_id += 1
     if replies:
         for sink in sinks:
             messages.append(
                 Message(
-                    src=sink, dests=tuple(sources), size_bits=size_bits, tag="scatter", msg_id=msg_id
+                    src=sink,
+                    dests=tuple(sources),
+                    size_bits=size_bits,
+                    inject_cycle=_inject(),
+                    tag="scatter",
+                    msg_id=msg_id,
                 )
             )
             msg_id += 1

@@ -83,6 +83,54 @@ class TestMaxFeasibleTiers:
             ThermalModel().max_feasible_tiers(-1.0)
 
 
+class TestTierPowerAttribution:
+    """Regression: zero dynamic energy must not divide by zero or leak a
+    non-float v_share through the `x and (a / b)` idiom."""
+
+    @staticmethod
+    def _stub_report(compute=0.0, write=0.0, noc=0.0, period=1e-3):
+        from types import SimpleNamespace
+
+        from repro.core.config import ReGraphXConfig
+
+        config = ReGraphXConfig()
+        return SimpleNamespace(
+            config=config,
+            compute_energy_per_input=compute,
+            energy_per_input=compute + write + noc,
+            pipeline=SimpleNamespace(period=period),
+        )
+
+    def test_zero_dynamic_energy(self):
+        report = self._stub_report()
+        powers = tier_powers_from_report(report)
+        assert len(powers) == report.config.tiers
+        static_each = (
+            report.config.energy.static_power_watts / report.config.tiers
+        )
+        # Nothing to attribute: every tier carries exactly its static share.
+        assert all(p == pytest.approx(static_each) for p in powers)
+
+    def test_zero_compute_nonzero_noc(self):
+        report = self._stub_report(compute=0.0, noc=2e-9)
+        powers = tier_powers_from_report(report)
+        # v_share is 0.0 (a float), so the whole dynamic power lands on
+        # the E tiers and the total is conserved.
+        v = powers[report.config.v_tier]
+        static_each = (
+            report.config.energy.static_power_watts / report.config.tiers
+        )
+        assert v == pytest.approx(static_each)
+        dynamic = report.energy_per_input / report.pipeline.period
+        assert sum(powers) == pytest.approx(
+            report.config.energy.static_power_watts + dynamic
+        )
+
+    def test_zero_period_rejected(self):
+        with pytest.raises(ValueError, match="period"):
+            tier_powers_from_report(self._stub_report(period=0.0))
+
+
 class TestReportIntegration:
     def test_tier_powers_from_report(self, accelerator, ppi_workload):
         report = accelerator.evaluate(ppi_workload, use_sa=False)

@@ -12,7 +12,7 @@ from repro.core.accelerator import ReGraphX
 from repro.core.config import ReGraphXConfig
 from repro.core.evaluation import compare_with_gpu
 from repro.core.mapping import contiguous_mapping
-from repro.core.traffic import GNNTrafficModel
+from repro.core.traffic import GNNTrafficModel, cross_validate_traffic
 from repro.gnn.layers import GCNLayer
 from repro.gnn.model import GCN
 from repro.graph.clustering import ClusterBatcher
@@ -139,6 +139,29 @@ class TestNoCModelAgreement:
         # ...and the two contention models agree within 2x.
         ratio = res_sched.makespan_cycles / res_sim.makespan_cycles
         assert 0.5 <= ratio <= 2.0
+
+    def test_full_traffic_cross_validation_event_backend(
+        self, accelerator, ppi_workload
+    ):
+        """The event engine makes the *entire* pipeline message set cheap to
+        validate — no subsampling, unlike the cycle-era test above."""
+        sm = contiguous_mapping(accelerator.config)
+        traffic = GNNTrafficModel(
+            accelerator.config,
+            sm,
+            ppi_workload.block_mapping,
+            ppi_workload.num_nodes_per_input,
+            ppi_workload.layer_dims,
+        )
+        msgs = traffic.messages()
+        validation = cross_validate_traffic(
+            accelerator.config.topology, accelerator.config.noc, msgs
+        )
+        assert validation.num_messages == len(msgs)
+        assert validation.flit_hops_match
+        # The static schedule is conservative: never faster than the
+        # flit-level dynamics, and within an order of magnitude of them.
+        assert 1.0 <= validation.makespan_ratio < 10.0
 
     def test_atomic_bounds_pipelined_on_workload(self, accelerator, ppi_workload):
         sm = contiguous_mapping(accelerator.config)

@@ -49,6 +49,27 @@ class TestSweep:
             latency_throughput_sweep(topo, rates=[])
         with pytest.raises(ValueError):
             latency_throughput_sweep(topo, rates=[-1.0])
+        with pytest.raises(ValueError, match="backend"):
+            latency_throughput_sweep(topo, rates=[0.1], backend="quantum")
+
+    def test_event_backend_sweep(self):
+        """The flit-level backends drive the same sweep; the dynamic model
+        interleaves flits, so it is never slower than the static schedule."""
+        topo = Mesh3D(4, 4, 2)
+        kwargs = dict(rates=[0.5, 4.0], window_cycles=500, seed=0)
+        event = latency_throughput_sweep(topo, backend="event", **kwargs)
+        static = latency_throughput_sweep(topo, backend="static", **kwargs)
+        for ev, st in zip(event, static):
+            assert ev.offered_rate == st.offered_rate
+            assert 0 < ev.average_latency_cycles <= st.average_latency_cycles
+            assert ev.max_link_load == st.max_link_load  # same flit work
+
+    def test_event_and_cycle_backends_identical(self):
+        topo = Mesh3D(4, 4, 2)
+        kwargs = dict(rates=[2.0], window_cycles=300, seed=1)
+        event = latency_throughput_sweep(topo, backend="event", **kwargs)
+        cycle = latency_throughput_sweep(topo, backend="cycle", **kwargs)
+        assert event == cycle
 
 
 class TestBisection:

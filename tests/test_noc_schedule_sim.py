@@ -6,6 +6,7 @@ import pytest
 from repro.noc.packet import Message
 from repro.noc.schedule import NoCConfig, StaticScheduler
 from repro.noc.simulator import FlitSimulator
+from repro.noc.stats import LinkStats
 from repro.noc.topology import Mesh3D
 from repro.noc.traffic_gen import (
     hotspot_traffic,
@@ -173,6 +174,12 @@ class TestFlitSimulator:
         sim = FlitSimulator(TOPO, CFG).simulate([msg])
         assert sim.makespan_cycles == sched.makespan_cycles
 
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            FlitSimulator(TOPO, CFG, backend="quantum")
+        with pytest.raises(ValueError, match="backend"):
+            FlitSimulator(TOPO, CFG).simulate([], backend="quantum")
+
     def test_contended_not_worse_than_atomic(self):
         msgs = uniform_random_traffic(TOPO, 40, size_bits=512, seed=5)
         atomic = StaticScheduler(TOPO, NoCConfig(schedule_mode="atomic")).simulate(
@@ -198,6 +205,114 @@ class TestFlitSimulator:
             FlitSimulator(TOPO, CFG).simulate(msgs, max_cycles=5)
 
 
+class TestSimulationResultKeying:
+    """Regression: results are keyed by the caller's (msg_id, dest), not by
+    internally renumbered packet ids."""
+
+    def test_shuffled_msg_ids_stay_addressable(self):
+        # Disjoint messages with non-contiguous, out-of-order ids: each
+        # finish time must land under the caller's id, at the uncontended
+        # analytic latency.
+        msgs = [
+            Message(src=0, dests=(1,), size_bits=320, msg_id=42),
+            Message(src=100, dests=(101,), size_bits=320, msg_id=7),
+            Message(src=50, dests=(58,), size_bits=320, msg_id=1000),
+        ]
+        for backend in ("event", "cycle"):
+            result = FlitSimulator(TOPO, CFG, backend=backend).simulate(msgs)
+            assert set(result.message_finish) == {(42, 1), (7, 101), (1000, 58)}
+            for m in msgs:
+                assert result.message_finish[(m.msg_id, m.dests[0])] == (
+                    analytic_latency(TOPO, CFG, m)
+                )
+
+    def test_multicast_expansion_addressable_per_dest(self):
+        msg = Message(src=0, dests=(3, 17, 80), size_bits=320, msg_id=9)
+        result = FlitSimulator(TOPO, CFG).simulate([msg])
+        assert set(result.message_finish) == {(9, 3), (9, 17), (9, 80)}
+        by_msg = result.finish_by_message()
+        assert by_msg == {9: max(result.message_finish.values())}
+
+    def test_duplicate_keys_rejected(self):
+        msgs = [
+            Message(src=0, dests=(5,), size_bits=32, msg_id=1),
+            Message(src=2, dests=(5,), size_bits=32, msg_id=1),
+        ]
+        with pytest.raises(ValueError, match="duplicate"):
+            FlitSimulator(TOPO, CFG).simulate(msgs)
+
+
+class TestWatchdogAndEmptyInput:
+    def test_empty_trace_zero_makespan(self):
+        for backend in ("event", "cycle"):
+            result = FlitSimulator(TOPO, CFG, backend=backend).simulate([])
+            assert result.makespan_cycles == 0
+            assert result.message_finish == {}
+            assert result.link_stats.total_flit_hops == 0
+
+    def test_watchdog_boundary_exact(self):
+        """max_cycles permits exactly max_cycles cycles (0..max_cycles-1),
+        not max_cycles + 1 as the old off-by-one guard did."""
+        msg = Message(src=0, dests=(1,), size_bits=32, msg_id=0)
+        # Tail flit crosses the last link hop_cycles before the reported
+        # finish; the simulation needs cycles 0..last_tail inclusive.
+        finish = FlitSimulator(TOPO, CFG).simulate([msg]).makespan_cycles
+        last_tail = finish - CFG.hop_cycles
+        for backend in ("event", "cycle"):
+            sim = FlitSimulator(TOPO, CFG, backend=backend)
+            ok = sim.simulate([msg], max_cycles=last_tail + 1)
+            assert ok.makespan_cycles == finish
+            with pytest.raises(RuntimeError, match="exceeded"):
+                sim.simulate([msg], max_cycles=last_tail)
+
+
+class TestLinkUtilization:
+    def test_with_local_ports_bounded(self):
+        """Regression: numerator included local-port flits while the
+        denominator counted only mesh links, so many-to-one traffic could
+        report utilization > 1."""
+        small = Mesh3D(2, 2, 1)
+        msgs = [
+            Message(src=s, dests=(0,), size_bits=4096, msg_id=i)
+            for i, s in enumerate((1, 2, 3))
+        ]
+        result = FlitSimulator(small, CFG).simulate(msgs)
+        util = result.link_stats.utilization(result.makespan_cycles)
+        assert 0.0 < util <= 1.0
+        # The auto-detected denominator counts mesh links + 2N local ports.
+        expected_links = len(small.links()) + 2 * small.num_routers
+        assert util == pytest.approx(
+            result.link_stats.total_flit_hops
+            / (expected_links * result.makespan_cycles)
+        )
+
+    def test_without_local_ports(self):
+        small = Mesh3D(2, 2, 1)
+        cfg = NoCConfig(model_local_ports=False)
+        msgs = [Message(src=1, dests=(2,), size_bits=4096, msg_id=0)]
+        result = FlitSimulator(small, cfg).simulate(msgs)
+        util = result.link_stats.utilization(result.makespan_cycles)
+        assert 0.0 < util <= 1.0
+        assert util == pytest.approx(
+            result.link_stats.total_flit_hops
+            / (len(small.links()) * result.makespan_cycles)
+        )
+
+    def test_explicit_override(self):
+        small = Mesh3D(2, 2, 1)
+        msgs = [Message(src=1, dests=(2,), size_bits=4096, msg_id=0)]
+        result = FlitSimulator(small, CFG).simulate(msgs)
+        stats = result.link_stats
+        span = result.makespan_cycles
+        with_local = stats.utilization(span, include_local_ports=True)
+        without = stats.utilization(span, include_local_ports=False)
+        assert without > with_local  # smaller denominator
+        assert stats.utilization(span) == with_local  # auto-detects local flits
+
+    def test_zero_makespan(self):
+        assert LinkStats(TOPO).utilization(0) == 0.0
+
+
 class TestTrafficGen:
     def test_uniform_properties(self):
         msgs = uniform_random_traffic(TOPO, 100, seed=0)
@@ -220,6 +335,15 @@ class TestTrafficGen:
         with pytest.raises(IndexError):
             hotspot_traffic(TOPO, 10, hotspot=999)
 
+    def test_hotspot_tiny_mesh(self):
+        """Non-hotspot draws need a third router to land on; with a pure
+        hotspot fraction two routers suffice."""
+        tiny = Mesh3D(2, 1, 1)
+        with pytest.raises(ValueError, match="3 routers"):
+            hotspot_traffic(tiny, 5, hotspot=0, hotspot_fraction=0.5)
+        msgs = hotspot_traffic(tiny, 5, hotspot=0, hotspot_fraction=1.0)
+        assert all(m.dests == (0,) and m.src == 1 for m in msgs)
+
     def test_many_to_one_to_many_shape(self):
         sources = TOPO.tier_routers(1)[:4]
         sinks = TOPO.tier_routers(0)[:3]
@@ -238,3 +362,42 @@ class TestTrafficGen:
     def test_no_replies(self):
         msgs = many_to_one_to_many_traffic(TOPO, [64], [0], replies=False)
         assert len(msgs) == 1
+
+    def test_hotspot_inject_window(self):
+        """Regression: hotspot_traffic silently dropped the inject_window
+        knob that uniform_random_traffic has."""
+        msgs = hotspot_traffic(TOPO, 200, hotspot=7, seed=0, inject_window=500)
+        injects = [m.inject_cycle for m in msgs]
+        assert all(0 <= i <= 500 for i in injects)
+        assert max(injects) > 0  # the window is actually used
+        flat = hotspot_traffic(TOPO, 50, hotspot=7, seed=0)
+        assert all(m.inject_cycle == 0 for m in flat)
+
+    def test_hotspot_fraction_not_inflated(self):
+        """Regression: the non-hotspot branch could still draw the hotspot,
+        inflating the effective fraction beyond the requested one."""
+        msgs = hotspot_traffic(TOPO, 600, hotspot=7, hotspot_fraction=0.25, seed=0)
+        hot = sum(1 for m in msgs if m.dests[0] == 7)
+        # Binomial(600, 0.25): mean 150, sigma ~10.6 — a +/-4 sigma band.
+        # Before the fix the uniform branch added ~450/192 ~ 2.3 extra
+        # hotspot hits in expectation *per seed* on top of any skew.
+        assert 107 <= hot <= 193
+
+    def test_hotspot_deterministic(self):
+        a = hotspot_traffic(TOPO, 30, hotspot=3, seed=12, inject_window=100)
+        b = hotspot_traffic(TOPO, 30, hotspot=3, seed=12, inject_window=100)
+        assert [(m.src, m.dests, m.inject_cycle) for m in a] == [
+            (m.src, m.dests, m.inject_cycle) for m in b
+        ]
+
+    def test_many_to_one_to_many_inject_window(self):
+        sources = TOPO.tier_routers(1)[:4]
+        sinks = TOPO.tier_routers(0)[:3]
+        msgs = many_to_one_to_many_traffic(
+            TOPO, sources, sinks, seed=5, inject_window=1000
+        )
+        injects = [m.inject_cycle for m in msgs]
+        assert all(0 <= i <= 1000 for i in injects)
+        assert max(injects) > 0
+        flat = many_to_one_to_many_traffic(TOPO, sources, sinks, seed=5)
+        assert all(m.inject_cycle == 0 for m in flat)
