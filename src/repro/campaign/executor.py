@@ -55,6 +55,7 @@ def evaluate_scenario(
         multicast=scenario.multicast,
         use_sa=scenario.use_sa,
         seed=scenario.seed,
+        sa_restarts=scenario.sa_restarts,
     )
     profile = ThermalModel(thermal).steady_state(tier_powers_from_report(report))
     return ScenarioRecord(

@@ -9,6 +9,8 @@ warm cache.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.campaign.spec import CampaignSpec, Scenario
 from repro.utils.units import GHZ
 
@@ -78,6 +80,19 @@ def _build_presets() -> dict[str, CampaignSpec]:
                 ("multicast", (True, False)),
             ),
             description="SA stage placement vs contiguous, x multicast",
+        ),
+        "annealer": CampaignSpec(
+            name="annealer",
+            base=replace(_BASE, use_sa=True),
+            axes=(
+                ("sa_restarts", (1, 2, 4)),
+                ("seed", (0, 1)),
+            ),
+            description=(
+                "SA multi-restart study: how much placement quality extra "
+                "annealing chains buy (cheap now that the incremental-cost "
+                "annealer runs the mapper off the critical path)"
+            ),
         ),
         "seeds": CampaignSpec(
             name="seeds",

@@ -24,7 +24,9 @@ from repro.utils.units import MHZ
 
 #: Bump when the evaluation model changes in a way that invalidates cached
 #: results (the version participates in every scenario's content hash).
-SCHEMA_VERSION = 1
+#: v2: SA mapping defaults scale iterations with mesh size and scenarios
+#: carry an ``sa_restarts`` knob, changing every ``use_sa=True`` outcome.
+SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -45,6 +47,8 @@ class Scenario:
         noc_clock_hz: NoC router clock override.
         multicast: tree-multicast (paper default) vs unicast NoC traffic.
         use_sa: SA-optimized stage placement vs contiguous mapping.
+        sa_restarts: independent annealing chains when ``use_sa`` (best
+            final cost wins); ignored for contiguous mapping.
         batch_size: Cluster-GCN beta override (``None`` = paper default).
         label: display name; auto-derived from the knobs when empty.
     """
@@ -58,6 +62,7 @@ class Scenario:
     noc_clock_hz: float | None = None
     multicast: bool = True
     use_sa: bool = False
+    sa_restarts: int = 1
     batch_size: int | None = None
     label: str = ""
 
@@ -68,6 +73,8 @@ class Scenario:
             raise ValueError("a ReGraphX stack needs at least 2 tiers")
         if self.noc_clock_hz is not None and self.noc_clock_hz <= 0:
             raise ValueError("NoC clock must be positive")
+        if self.sa_restarts < 1:
+            raise ValueError("sa_restarts must be at least 1")
 
     # ------------------------------------------------------------------
     # Derived values
@@ -104,7 +111,9 @@ class Scenario:
             parts.append(f"b{self.batch_size}")
         parts.append("mc" if self.multicast else "uni")
         if self.use_sa:
-            parts.append("sa")
+            parts.append(
+                "sa" if self.sa_restarts == 1 else f"sa{self.sa_restarts}"
+            )
         parts.append(f"s{self.seed}")
         return "-".join(parts)
 
@@ -155,6 +164,7 @@ class Scenario:
             "noc_clock_hz": self.noc_clock_hz,
             "multicast": self.multicast,
             "use_sa": self.use_sa,
+            "sa_restarts": self.sa_restarts,
             "batch_size": self.batch_size,
             "label": self.display_label,
         }

@@ -43,6 +43,10 @@ def scenario_key(
             "batch_size": scenario.batch_size,
             "multicast": scenario.multicast,
             "use_sa": scenario.use_sa,
+            # The restart knob only affects annealed mappings; keying it
+            # unconditionally would split cache entries for contiguous
+            # scenarios whose outcome it cannot change.
+            "sa_restarts": scenario.sa_restarts if scenario.use_sa else 1,
         }
     )
 

@@ -19,14 +19,17 @@ from repro.core.dse import (
     evaluate_design,
     pareto_front,
     sweep_mesh,
+    sweep_sa_restarts,
     sweep_tiers,
 )
 from repro.core.evaluation import FullSystemComparison, compare_with_gpu
 from repro.core.heterogeneity import epe_demand_for_beta, zero_storage_study
 from repro.core.mapping import (
+    IncrementalCost,
     StageMap,
     anneal_mapping,
     contiguous_mapping,
+    default_sa_iterations,
     random_mapping,
 )
 from repro.core.pipeline import PipelineModel, StageCost
@@ -44,6 +47,8 @@ __all__ = [
     "contiguous_mapping",
     "anneal_mapping",
     "random_mapping",
+    "default_sa_iterations",
+    "IncrementalCost",
     "GNNTrafficModel",
     "NoCValidation",
     "cross_validate_traffic",
@@ -63,5 +68,6 @@ __all__ = [
     "evaluate_design",
     "sweep_tiers",
     "sweep_mesh",
+    "sweep_sa_restarts",
     "pareto_front",
 ]

@@ -181,10 +181,19 @@ class ReGraphX:
         self,
         workload: Workload,
         use_sa: bool = True,
-        sa_iterations: int = 800,
+        sa_iterations: int | None = None,
         seed: int = 0,
+        cost_mode: str = "incremental",
+        restarts: int = 1,
+        jobs: int = 1,
     ) -> StageMap:
-        """Place pipeline stages on routers (SA-optimized by default)."""
+        """Place pipeline stages on routers (SA-optimized by default).
+
+        ``sa_iterations=None`` scales the annealing budget with mesh size
+        (2000 steps at the paper's 8x8x3 point).  ``restarts > 1`` runs
+        independent annealing chains and keeps the cheapest final map,
+        fanned out over ``jobs`` worker processes when asked.
+        """
         if not use_sa:
             return contiguous_mapping(self.config)
         baseline = contiguous_mapping(self.config)
@@ -200,6 +209,9 @@ class ReGraphX:
             leg_volumes=traffic.leg_volumes(),
             iterations=sa_iterations,
             seed=seed,
+            cost_mode=cost_mode,
+            restarts=restarts,
+            jobs=jobs,
         )
 
     # ------------------------------------------------------------------
@@ -213,18 +225,22 @@ class ReGraphX:
         use_sa: bool = True,
         seed: int = 0,
         training: bool = True,
+        sa_restarts: int = 1,
     ) -> ReGraphXReport:
         """Run the full architectural evaluation for one workload.
 
         With ``training=False`` the pipeline carries forward stages only
         (2L instead of 4L), each stage receives twice the PE budget, and
         no gradient/mask traffic is generated — the inference deployment
-        of the same chip.
+        of the same chip.  ``sa_restarts`` forwards to
+        :meth:`map_stages` when the stage map is annealed here.
         """
         cfg = self.config
         if stage_map is None:
             if training:
-                stage_map = self.map_stages(workload, use_sa=use_sa, seed=seed)
+                stage_map = self.map_stages(
+                    workload, use_sa=use_sa, seed=seed, restarts=sa_restarts
+                )
             else:
                 stage_map = contiguous_mapping(cfg, training=False)
         n = workload.num_nodes_per_input

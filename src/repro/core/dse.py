@@ -51,6 +51,7 @@ def evaluate_design(
     thermal: ThermalSpec | None = None,
     multicast: bool = True,
     use_sa: bool = False,
+    sa_restarts: int = 1,
 ) -> DesignPoint:
     """Evaluate one configuration end to end (timing, energy, thermals)."""
     from repro.campaign.executor import evaluate_scenario
@@ -62,6 +63,7 @@ def evaluate_design(
         seed=seed,
         multicast=multicast,
         use_sa=use_sa,
+        sa_restarts=sa_restarts,
         label=label,
     )
     record = evaluate_scenario(scenario, base_config=config, thermal=thermal)
@@ -149,6 +151,51 @@ def sweep_mesh(
     ]
     result = run_scenarios(
         scenarios, base_config=base, jobs=jobs, store=store, name="sweep-mesh"
+    )
+    return [
+        to_design_point(record, base_config=base, scenario=scenario)
+        for scenario, record in zip(scenarios, result.records)
+    ]
+
+
+def sweep_sa_restarts(
+    restart_counts: list[int],
+    workload_dataset: str = "ppi",
+    scale: float = 0.05,
+    base: ReGraphXConfig | None = None,
+    seed: int = 0,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+) -> list[DesignPoint]:
+    """Sweep the annealer's multi-restart budget at the paper design point.
+
+    Quantifies how much extra placement quality additional independent
+    annealing chains buy — affordable to sweep at all since the
+    incremental-cost annealer took stage mapping off the evaluation
+    critical path.
+    """
+    from repro.campaign.analysis import to_design_point
+    from repro.campaign.executor import run_scenarios
+    from repro.campaign.spec import Scenario
+
+    if not restart_counts:
+        raise ValueError("need at least one restart count")
+    if any(r < 1 for r in restart_counts):
+        raise ValueError("restart counts must be at least 1")
+    base = base or ReGraphXConfig()
+    scenarios = [
+        Scenario(
+            dataset=workload_dataset,
+            scale=scale,
+            seed=seed,
+            use_sa=True,
+            sa_restarts=restarts,
+            label=f"sa-x{restarts}",
+        )
+        for restarts in restart_counts
+    ]
+    result = run_scenarios(
+        scenarios, base_config=base, jobs=jobs, store=store, name="sweep-sa-restarts"
     )
     return [
         to_design_point(record, base_config=base, scenario=scenario)

@@ -6,16 +6,31 @@ from the two E tiers.  The SA optimizer (following GRAMARCH [12]) swaps
 routers between stages to pull heavily-communicating stage pairs close,
 minimizing a volume-weighted distance cost — the proxy for long-range and
 multicast traffic the paper optimizes.
+
+Cost evaluation has two modes.  ``cost_mode="incremental"`` (the default)
+keeps per-leg cross-group distance sums as exact integer running state and
+updates only the legs incident to the two swapped stages on each proposal
+— O(legs touched) bookkeeping per step instead of re-materializing every
+O(|A|·|B|) pairwise-distance matrix.  ``cost_mode="full"`` is the original
+full-recompute path, retained as the reference oracle; both modes draw the
+same RNG sequence and produce bit-identical accept/reject decisions, so
+the same seed yields the same :class:`StageMap` either way.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.config import ReGraphXConfig
-from repro.utils.rng import rng_from_seed
+from repro.utils.rng import rng_from_seed, spawn_rngs
+
+#: SA iterations at the paper's 8x8x3 design point; the default iteration
+#: budget scales linearly with router count around this anchor.
+_BASE_ITERATIONS = 2000
+_BASE_ROUTERS = 192
 
 
 def stage_names(num_layers: int, training: bool = True) -> list[str]:
@@ -111,28 +126,43 @@ def contiguous_mapping(config: ReGraphXConfig, training: bool = True) -> StageMa
 
 
 def random_mapping(
-    config: ReGraphXConfig, seed: int | np.random.Generator | None = 0
+    config: ReGraphXConfig,
+    seed: int | np.random.Generator | None = 0,
+    training: bool = True,
 ) -> StageMap:
     """Random router-to-stage assignment (the SA ablation baseline).
 
     Respects tier constraints (V stages on the V tier, E stages on the E
     tiers) but scatters each stage's routers arbitrarily — the kind of
-    placement an application-agnostic allocator would produce.
+    placement an application-agnostic allocator would produce.  Like
+    :func:`contiguous_mapping`, inference (``training=False``) builds the
+    2L forward-only pipeline with twice the routers per stage.
     """
     rng = rng_from_seed(seed)
-    names = stage_names(config.num_layers)
+    names = stage_names(config.num_layers, training)
     v_stages = [s for s in names if s.lstrip("B").startswith("V")]
     e_stages = [s for s in names if s.lstrip("B").startswith("E")]
     v_pool = list(rng.permutation(config.v_routers()))
     e_pool = list(rng.permutation(config.e_routers()))
-    per_v = config.v_routers_per_stage
-    per_e = config.e_routers_per_stage
+    per_v = len(v_pool) // len(v_stages)
+    per_e = len(e_pool) // len(e_stages)
     assignment: dict[str, tuple[int, ...]] = {}
     for idx, stage in enumerate(v_stages):
         assignment[stage] = tuple(int(r) for r in v_pool[idx * per_v:(idx + 1) * per_v])
     for idx, stage in enumerate(e_stages):
         assignment[stage] = tuple(int(r) for r in e_pool[idx * per_e:(idx + 1) * per_e])
     return StageMap(assignment)
+
+
+def default_sa_iterations(config: ReGraphXConfig) -> int:
+    """Default SA budget: 2000 steps at 8x8x3, linear in router count.
+
+    Bigger meshes have more placement freedom per stage, so the proposal
+    budget grows with the router population; tiny meshes keep a floor
+    that still anneals past the greedy phase.
+    """
+    routers = config.topology.num_routers
+    return max(200, round(_BASE_ITERATIONS * routers / _BASE_ROUTERS))
 
 
 def _mapping_cost(
@@ -152,59 +182,138 @@ def _mapping_cost(
     return cost
 
 
-def anneal_mapping(
-    config: ReGraphXConfig,
-    leg_volumes: dict[tuple[str, str], float] | None = None,
-    iterations: int = 2000,
-    initial_temperature: float = 2.0,
-    seed: int | np.random.Generator | None = 0,
-) -> StageMap:
-    """Simulated-annealing refinement of :func:`contiguous_mapping`.
+class IncrementalCost:
+    """Exact running state for the SA cost under single-router swaps.
 
-    Args:
-        config: the architecture instance.
-        leg_volumes: relative communication volume per stage pair (defaults
-            to 1.0 per leg); typically filled from the workload's per-layer
-            output sizes.
-        iterations: SA steps (each proposes one router swap).
-        initial_temperature: SA temperature, decayed geometrically to ~1%.
-        seed: RNG seed for proposal and acceptance draws.
+    The cost is ``sum_leg w_leg * S_leg / (|A_leg| * |B_leg|)`` where
+    ``S_leg`` is the integer sum of pairwise Manhattan distances between
+    the leg's two stage groups.  Manhattan distances on an integer mesh
+    are integers, so ``S_leg`` is maintained as exact integer state and
+    :meth:`total_cost` reconstructs the float cost with the same per-leg
+    term and accumulation order as :func:`_mapping_cost` — making the
+    incremental cost bit-identical to a full recompute.
 
-    Returns:
-        The best :class:`StageMap` found.
+    Per leg the state also carries two int64 vectors over *all* routers:
+    the distance-sum to the leg's current destination group and from its
+    current source group.  Replacing one router in a stage then costs two
+    O(1) lookups plus one O(num_routers) vectorized vector update per
+    incident leg; a rejected swap is reverted by applying the inverse
+    replacements, which is exact in integer arithmetic.
     """
-    if iterations < 0:
-        raise ValueError("iterations must be non-negative")
-    rng = rng_from_seed(seed)
-    legs = communication_legs(config.num_layers)
+
+    def __init__(
+        self,
+        assignment: dict[str, tuple[int, ...] | list[int]],
+        legs: list[tuple[str, str]],
+        leg_volumes: dict[tuple[str, str], float],
+        coords: np.ndarray,
+    ) -> None:
+        dist = np.abs(coords[:, None, :] - coords[None, :, :]).sum(axis=2)
+        self._D = np.asarray(np.rint(dist), dtype=np.int64)
+        self._legs = list(legs)
+        self._weights = [leg_volumes.get(leg, 1.0) for leg in self._legs]
+        self._sizes: list[int] = []
+        self._sums: list[int] = []
+        self._to_dst: list[np.ndarray] = []  # per leg: sum of D[r, dst members]
+        self._from_src: list[np.ndarray] = []  # per leg: sum of D[src members, r]
+        self._stage_legs: dict[str, list[tuple[int, bool]]] = {}
+        for idx, (src, dst) in enumerate(self._legs):
+            a = np.asarray(assignment[src], dtype=np.int64)
+            b = np.asarray(assignment[dst], dtype=np.int64)
+            self._sizes.append(int(a.size) * int(b.size))
+            self._sums.append(int(self._D[np.ix_(a, b)].sum()))
+            self._to_dst.append(self._D[:, b].sum(axis=1))
+            self._from_src.append(self._D[a, :].sum(axis=0))
+            self._stage_legs.setdefault(src, []).append((idx, True))
+            self._stage_legs.setdefault(dst, []).append((idx, False))
+
+    def replace(self, stage: str, old: int, new: int) -> None:
+        """Account for router ``old`` -> ``new`` in ``stage``'s group."""
+        incident = self._stage_legs.get(stage)
+        if not incident:
+            return
+        # The distance-row difference is the same for every incident leg.
+        diff = self._D[new] - self._D[old]
+        sums = self._sums
+        for idx, as_src in incident:
+            if as_src:
+                vec = self._to_dst[idx]
+                sums[idx] += int(vec[new]) - int(vec[old])
+                self._from_src[idx] += diff
+            else:
+                vec = self._from_src[idx]
+                sums[idx] += int(vec[new]) - int(vec[old])
+                self._to_dst[idx] += diff
+
+    def swap(self, stage_a: str, router_a: int, stage_b: str, router_b: int) -> None:
+        """Exchange ``router_a`` (in ``stage_a``) with ``router_b``."""
+        self.replace(stage_a, router_a, router_b)
+        self.replace(stage_b, router_b, router_a)
+
+    def total_cost(self) -> float:
+        """The current cost, bit-identical to :func:`_mapping_cost`."""
+        cost = 0.0
+        for weight, total, size in zip(self._weights, self._sums, self._sizes):
+            cost += weight * (total / size)
+        return cost
+
+
+def _anneal_once(
+    config: ReGraphXConfig,
+    leg_volumes: dict[tuple[str, str], float] | None,
+    iterations: int,
+    initial_temperature: float,
+    rng: np.random.Generator,
+    training: bool,
+    cost_mode: str,
+) -> tuple[dict[str, tuple[int, ...]], float]:
+    """One annealing run; returns (best assignment, best cost)."""
+    legs = communication_legs(config.num_layers, training)
     volumes = leg_volumes or {}
     topo = config.topology
     coords = np.asarray([topo.coords(r) for r in range(topo.num_routers)], dtype=float)
 
-    current = {s: list(r) for s, r in contiguous_mapping(config).assignment.items()}
+    current = {
+        s: list(r) for s, r in contiguous_mapping(config, training).assignment.items()
+    }
     v_stages = [s for s in current if s.lstrip("B").startswith("V")]
     e_stages = [s for s in current if s.lstrip("B").startswith("E")]
 
     def snapshot() -> dict[str, tuple[int, ...]]:
         return {s: tuple(r) for s, r in current.items()}
 
-    cost = _mapping_cost(snapshot(), legs, volumes, coords)
+    state = (
+        IncrementalCost(current, legs, volumes, coords)
+        if cost_mode == "incremental"
+        else None
+    )
+    cost = state.total_cost() if state is not None else _mapping_cost(
+        snapshot(), legs, volumes, coords
+    )
     best, best_cost = snapshot(), cost
     if iterations == 0:
-        return StageMap(best)
+        return best, best_cost
     alpha = 0.01 ** (1.0 / iterations)  # decay to 1% of T0
     temperature = initial_temperature * cost / max(len(legs), 1)
     for _ in range(iterations):
         pool = v_stages if rng.random() < 0.5 else e_stages
+        if len(pool) < 2:
+            # Degenerate pool (e.g. a 1-layer inference pipeline has a
+            # single V and a single E stage): nothing to swap — keep the
+            # temperature schedule ticking and move on.
+            temperature *= alpha
+            continue
         s1, s2 = rng.choice(len(pool), size=2, replace=False)
         stage_a, stage_b = pool[s1], pool[s2]
         ia = int(rng.integers(len(current[stage_a])))
         ib = int(rng.integers(len(current[stage_b])))
-        current[stage_a][ia], current[stage_b][ib] = (
-            current[stage_b][ib],
-            current[stage_a][ia],
-        )
-        new_cost = _mapping_cost(snapshot(), legs, volumes, coords)
+        router_a, router_b = current[stage_a][ia], current[stage_b][ib]
+        current[stage_a][ia], current[stage_b][ib] = router_b, router_a
+        if state is not None:
+            state.swap(stage_a, router_a, stage_b, router_b)
+            new_cost = state.total_cost()
+        else:
+            new_cost = _mapping_cost(snapshot(), legs, volumes, coords)
         accept = new_cost <= cost or rng.random() < np.exp(
             (cost - new_cost) / max(temperature, 1e-12)
         )
@@ -213,9 +322,78 @@ def anneal_mapping(
             if cost < best_cost:
                 best, best_cost = snapshot(), cost
         else:  # undo
-            current[stage_a][ia], current[stage_b][ib] = (
-                current[stage_b][ib],
-                current[stage_a][ia],
-            )
+            current[stage_a][ia], current[stage_b][ib] = router_a, router_b
+            if state is not None:
+                state.swap(stage_a, router_b, stage_b, router_a)
         temperature *= alpha
+    return best, best_cost
+
+
+def _anneal_restart(args: tuple) -> tuple[dict[str, tuple[int, ...]], float]:
+    """Module-level worker so restart fan-out can cross process pools."""
+    return _anneal_once(*args)
+
+
+def anneal_mapping(
+    config: ReGraphXConfig,
+    leg_volumes: dict[tuple[str, str], float] | None = None,
+    iterations: int | None = None,
+    initial_temperature: float = 2.0,
+    seed: int | np.random.Generator | None = 0,
+    training: bool = True,
+    cost_mode: str = "incremental",
+    restarts: int = 1,
+    jobs: int = 1,
+) -> StageMap:
+    """Simulated-annealing refinement of :func:`contiguous_mapping`.
+
+    Args:
+        config: the architecture instance.
+        leg_volumes: relative communication volume per stage pair (defaults
+            to 1.0 per leg); typically filled from the workload's per-layer
+            output sizes.
+        iterations: SA steps (each proposes one router swap); ``None``
+            scales the budget with mesh size (:func:`default_sa_iterations`,
+            2000 at the paper's 8x8x3 point).
+        initial_temperature: SA temperature, decayed geometrically to ~1%.
+        seed: RNG seed for proposal and acceptance draws.
+        training: anneal the 4L training pipeline (default) or the 2L
+            forward-only inference pipeline.
+        cost_mode: ``"incremental"`` (delta-cost running state, the fast
+            default) or ``"full"`` (recompute every proposal, the
+            reference oracle).  Both are bit-identical for the same seed.
+        restarts: independent annealing runs; the first uses ``seed``
+            exactly (so ``restarts=1`` reproduces historical results) and
+            the rest use child streams spawned from it.  The best final
+            cost wins, ties broken toward the earliest restart.
+        jobs: worker processes for restart fan-out (``<= 1`` runs inline;
+            the campaign executor keeps this at 1 inside its own pool).
+
+    Returns:
+        The best :class:`StageMap` found.
+    """
+    if iterations is None:
+        iterations = default_sa_iterations(config)
+    if iterations < 0:
+        raise ValueError("iterations must be non-negative")
+    if cost_mode not in ("incremental", "full"):
+        raise ValueError(f"unknown cost_mode {cost_mode!r}")
+    if restarts < 1:
+        raise ValueError("restarts must be at least 1")
+    rngs = [rng_from_seed(seed)]
+    if restarts > 1:
+        rngs += spawn_rngs(seed, restarts - 1)
+    payloads = [
+        (config, leg_volumes, iterations, initial_temperature, rng, training, cost_mode)
+        for rng in rngs
+    ]
+    if restarts > 1 and jobs > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, restarts)) as pool:
+            results = list(pool.map(_anneal_restart, payloads))
+    else:
+        results = [_anneal_once(*payload) for payload in payloads]
+    best, best_cost = results[0]
+    for candidate, candidate_cost in results[1:]:
+        if candidate_cost < best_cost:
+            best, best_cost = candidate, candidate_cost
     return StageMap(best)

@@ -30,6 +30,13 @@ finish time to the producing stage):
 Row ownership inside V-type stages is contiguous-chunked over the stage's
 routers.  Messages with identical (source, destination set, tag) are
 coalesced, as a DMA engine would.
+
+**Extraction engines.**  :meth:`GNNTrafficModel.messages` builds the set
+through a vectorized numpy group-by over the nonzero blocks (stable-sorted
+by block row/column, so per-group destination lists come out in the same
+order the scalar code visited them); the original per-router Python loops
+are retained behind ``messages(vectorized=False)`` as the reference
+oracle.  Both engines produce bit-identical message ids and ordering.
 """
 
 from __future__ import annotations
@@ -72,6 +79,13 @@ class _EPlacement:
             br, bc = bc, br
         return self.routers[(br % a) * b + (bc % b)]
 
+    def block_routers(self, brs: np.ndarray, bcs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`block_router` over parallel block arrays."""
+        a, b = self.grid
+        if self.transposed:
+            brs, bcs = bcs, brs
+        return np.asarray(self.routers)[(brs % a) * b + (bcs % b)]
+
     def input_dests(self, group: int, partners: np.ndarray) -> set[int]:
         """Routers needing input rows of block group ``group``.
 
@@ -96,12 +110,26 @@ class _EPlacement:
 
 @dataclass(frozen=True)
 class _BlockIndex:
-    """Row/column adjacency structure of the nonzero blocks."""
+    """Row/column adjacency structure of the nonzero blocks.
+
+    Beyond the per-group partner dictionaries the scalar path consumes,
+    the index carries stable group-by orderings of the raw block arrays:
+    ``order_by_col`` sorts blocks by block-column while preserving the
+    original block order inside each column (likewise ``order_by_row``),
+    so vectorized per-group slices enumerate partners in exactly the
+    order the scalar dictionaries recorded them.
+    """
 
     brs_by_col: dict[int, np.ndarray]  # block-col -> occupied block-rows
     bcs_by_row: dict[int, np.ndarray]  # block-row -> occupied block-cols
     occupied_rows: np.ndarray
     occupied_cols: np.ndarray
+    brs: np.ndarray  # block-row of every nonzero block
+    bcs: np.ndarray  # block-col of every nonzero block
+    order_by_col: np.ndarray  # stable argsort of bcs
+    order_by_row: np.ndarray  # stable argsort of brs
+    col_splits: np.ndarray  # split points into order_by_col per occupied col
+    row_splits: np.ndarray  # split points into order_by_row per occupied row
 
 
 def _build_block_index(mapping: BlockMapping) -> _BlockIndex:
@@ -113,11 +141,21 @@ def _build_block_index(mapping: BlockMapping) -> _BlockIndex:
     for br, bc in zip(brs.tolist(), bcs.tolist()):
         brs_by_col[bc].append(br)
         bcs_by_row[br].append(bc)
+    occupied_rows = np.unique(brs)
+    occupied_cols = np.unique(bcs)
+    order_by_col = np.argsort(bcs, kind="stable")
+    order_by_row = np.argsort(brs, kind="stable")
     return _BlockIndex(
         brs_by_col={k: np.asarray(v) for k, v in brs_by_col.items()},
         bcs_by_row={k: np.asarray(v) for k, v in bcs_by_row.items()},
-        occupied_rows=np.unique(brs),
-        occupied_cols=np.unique(bcs),
+        occupied_rows=occupied_rows,
+        occupied_cols=occupied_cols,
+        brs=brs,
+        bcs=bcs,
+        order_by_col=order_by_col,
+        order_by_row=order_by_row,
+        col_splits=np.searchsorted(bcs[order_by_col], occupied_cols[1:]),
+        row_splits=np.searchsorted(brs[order_by_row], occupied_rows[1:]),
     )
 
 
@@ -162,6 +200,8 @@ class GNNTrafficModel:
         self.e_rounds = e_rounds
         self.block_size = block_mapping.block_size
         self._index = _build_block_index(block_mapping)
+        # (layer, transposed, axis) -> per-group dest-router arrays.
+        self._group_cache: dict[tuple[int, bool, str], list[np.ndarray]] = {}
 
     # ------------------------------------------------------------------
     # Placement helpers
@@ -209,24 +249,89 @@ class GNNTrafficModel:
         return lo, hi
 
     # ------------------------------------------------------------------
+    # Vectorized group-by helpers
+    # ------------------------------------------------------------------
+    def _block_routers_by(
+        self, layer: int, transposed: bool, axis: str
+    ) -> list[np.ndarray]:
+        """Per-group arrays of block-holding routers, numpy group-by built.
+
+        ``axis="col"`` groups by block-column (aligned with
+        ``occupied_cols``); ``axis="row"`` by block-row.  Within a group,
+        routers appear in original block order — the same enumeration the
+        scalar partner dictionaries produce — so downstream ``set()``
+        construction inserts elements in the historical order.
+        """
+        key = (layer, transposed, axis)
+        cached = self._group_cache.get(key)
+        if cached is not None:
+            return cached
+        idx = self._index
+        placement = self._placement(layer, backward=transposed)
+        per_block = placement.block_routers(idx.brs, idx.bcs)
+        if axis == "col":
+            grouped = np.split(per_block[idx.order_by_col], idx.col_splits)
+        else:
+            grouped = np.split(per_block[idx.order_by_row], idx.row_splits)
+        self._group_cache[key] = grouped
+        return grouped
+
+    def _chunk_spans(
+        self, routers: tuple[int, ...], groups: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized chunk-ownership spans for every group's row range.
+
+        Returns ``(bounds, los, his, firsts, lasts)`` where chunk indices
+        ``firsts[k]..lasts[k]`` of ``routers`` cover rows
+        ``[los[k], his[k])`` of group ``groups[k]``.
+        """
+        bounds = self._chunk_bounds(routers)
+        los = groups * self.block_size
+        his = np.minimum(los + self.block_size, self.num_nodes)
+        firsts = np.maximum(np.searchsorted(bounds, los, side="right") - 1, 0)
+        lasts = np.minimum(
+            np.searchsorted(bounds, his - 1, side="right") - 1, len(routers) - 1
+        )
+        return bounds, los, his, firsts, lasts
+
+    # ------------------------------------------------------------------
     # Message construction
     # ------------------------------------------------------------------
-    def messages(self) -> list[Message]:
-        """The full message set of one pipeline period, all legs tagged."""
+    def messages(self, vectorized: bool = True) -> list[Message]:
+        """The full message set of one pipeline period, all legs tagged.
+
+        ``vectorized=False`` runs the original scalar construction — kept
+        as the reference oracle; both engines are bit-identical (same
+        message ids, ordering, and contents).
+        """
         acc: dict[tuple[int, frozenset[int], str], int] = defaultdict(int)
+        # Pick the engine once; the leg sequence itself is defined in one
+        # place so the two implementations cannot drift apart.
+        if vectorized:
+            into_e = self._vec_leg_into_e
+            partial_sums = self._vec_leg_partial_sums
+            e_out = self._vec_leg_e_out
+            e_to_be = self._vec_leg_e_to_be
+            be_to_bv = self._vec_leg_be_to_bv
+        else:
+            into_e = self._leg_into_e
+            partial_sums = self._leg_partial_sums
+            e_out = self._leg_e_out
+            e_to_be = self._leg_e_to_be
+            be_to_bv = self._leg_be_to_bv
         num_layers = self.config.num_layers
         for i in range(1, num_layers + 1):
             din, dout = self.layer_dims[i - 1]
-            self._leg_into_e(acc, i, dout, backward=False)
-            self._leg_partial_sums(acc, i, dout, backward=False)
-            self._leg_e_out(acc, i, dout, is_last=(i == num_layers))
+            into_e(acc, i, dout, backward=False)
+            partial_sums(acc, i, dout, backward=False)
+            e_out(acc, i, dout, is_last=(i == num_layers))
             if not self.training:
                 continue
-            self._leg_e_to_be(acc, i, dout, gradient=(i == num_layers))
-            self._leg_partial_sums(acc, i, dout, backward=True)
-            self._leg_be_to_bv(acc, i, dout)
+            e_to_be(acc, i, dout, gradient=(i == num_layers))
+            partial_sums(acc, i, dout, backward=True)
+            be_to_bv(acc, i, dout)
             if i > 1:
-                self._leg_into_e(acc, i, din, backward=True)
+                into_e(acc, i, din, backward=True)
         messages: list[Message] = []
         for msg_id, ((src, dests, tag), bits) in enumerate(sorted(acc.items(), key=str)):
             messages.append(
@@ -253,6 +358,111 @@ class GNNTrafficModel:
             return
         acc[(src, frozenset(dests), tag)] += bits
 
+    # ------------------------------------------------------------------
+    # Vectorized legs (numpy group-by; the default engine)
+    # ------------------------------------------------------------------
+    def _vec_leg_into_e(self, acc, layer: int, width: int, backward: bool) -> None:
+        """Rows into an E-type stage: Vi->Ei, or BVi->BEi-1 for gradients."""
+        idx = self._index
+        if backward:
+            src_routers = self.stage_map.routers(f"BV{layer}")
+            dest_groups = self._block_routers_by(layer - 1, transposed=True, axis="row")
+            groups = idx.occupied_rows
+            tag = f"BV{layer}->BE{layer - 1}"
+        else:
+            src_routers = self.stage_map.routers(f"V{layer}")
+            dest_groups = self._block_routers_by(layer, transposed=False, axis="col")
+            groups = idx.occupied_cols
+            tag = f"V{layer}->E{layer}"
+        bounds, los, his, firsts, lasts = self._chunk_spans(src_routers, groups)
+        factor = width * self.data_bits * self.e_rounds
+        for k in range(len(groups)):
+            dests = set(dest_groups[k].tolist())
+            lo, hi = int(los[k]), int(his[k])
+            for c in range(int(firsts[k]), int(lasts[k]) + 1):
+                rows = min(hi, int(bounds[c + 1])) - max(lo, int(bounds[c]))
+                if rows > 0:
+                    self._add(acc, src_routers[c], dests, rows * factor, tag)
+
+    def _vec_leg_partial_sums(self, acc, layer: int, dout: int, backward: bool) -> None:
+        """Within-stage reduction: partial block products to the row home."""
+        idx = self._index
+        if backward:
+            groups = idx.occupied_cols
+            src_groups = self._block_routers_by(layer, transposed=True, axis="col")
+            stage = f"BE{layer}"
+        else:
+            groups = idx.occupied_rows
+            src_groups = self._block_routers_by(layer, transposed=False, axis="row")
+            stage = f"E{layer}"
+        routers = self.stage_map.routers(stage)
+        num_routers = len(routers)
+        tag = f"{stage}->{stage}"
+        factor = dout * self.data_bits
+        for k, g in enumerate(groups.tolist()):
+            lo, hi = self._group_rows(g)
+            bits = (hi - lo) * factor
+            home = routers[g % num_routers]
+            for src in set(src_groups[k].tolist()):
+                self._add(acc, src, {home}, bits, tag)
+
+    def _vec_leg_e_out(self, acc, layer: int, dout: int, is_last: bool) -> None:
+        """Ei -> Vi+1 (and BVi+1): aggregated rows fan out (multicast)."""
+        if is_last:
+            return  # the last E stage feeds the loss turnaround instead
+        idx = self._index
+        e_routers = self.stage_map.routers(f"E{layer}")
+        num_e = len(e_routers)
+        v_next = self.stage_map.routers(f"V{layer + 1}")
+        bv_next = (
+            self.stage_map.routers(f"BV{layer + 1}") if self.training else ()
+        )
+        groups = idx.occupied_rows
+        _, los, his, v_firsts, v_lasts = self._chunk_spans(v_next, groups)
+        if bv_next:
+            _, _, _, bv_firsts, bv_lasts = self._chunk_spans(bv_next, groups)
+        tag = f"E{layer}->V{layer + 1}"
+        factor = dout * self.data_bits
+        for k, br in enumerate(groups.tolist()):
+            src = e_routers[br % num_e]
+            dests = set(v_next[int(v_firsts[k]):int(v_lasts[k]) + 1])
+            if bv_next:
+                dests |= set(bv_next[int(bv_firsts[k]):int(bv_lasts[k]) + 1])
+            self._add(acc, src, dests, int(his[k] - los[k]) * factor, tag)
+
+    def _vec_leg_e_to_be(self, acc, layer: int, dout: int, gradient: bool) -> None:
+        """Ei -> BEi: ReLU masks (plus the loss gradient at the last layer)."""
+        idx = self._index
+        e_routers = self.stage_map.routers(f"E{layer}")
+        num_e = len(e_routers)
+        dest_groups = self._block_routers_by(layer, transposed=True, axis="row")
+        bits_per_value = self.data_bits + 1 if gradient else 1
+        tag = f"E{layer}->BE{layer}"
+        factor = dout * bits_per_value * self.e_rounds
+        for k, br in enumerate(idx.occupied_rows.tolist()):
+            lo, hi = self._group_rows(br)
+            src = e_routers[br % num_e]
+            dests = set(dest_groups[k].tolist())
+            self._add(acc, src, dests, (hi - lo) * factor, tag)
+
+    def _vec_leg_be_to_bv(self, acc, layer: int, dout: int) -> None:
+        """BEi -> BVi: back-propagated rows to their chunk owners."""
+        idx = self._index
+        be_routers = self.stage_map.routers(f"BE{layer}")
+        num_be = len(be_routers)
+        bv_routers = self.stage_map.routers(f"BV{layer}")
+        groups = idx.occupied_cols
+        _, los, his, firsts, lasts = self._chunk_spans(bv_routers, groups)
+        tag = f"BE{layer}->BV{layer}"
+        factor = dout * self.data_bits
+        for k, bc in enumerate(groups.tolist()):
+            src = be_routers[bc % num_be]
+            dests = set(bv_routers[int(firsts[k]):int(lasts[k]) + 1])
+            self._add(acc, src, dests, int(his[k] - los[k]) * factor, tag)
+
+    # ------------------------------------------------------------------
+    # Scalar legs (the reference oracle behind ``vectorized=False``)
+    # ------------------------------------------------------------------
     def _leg_into_e(self, acc, layer: int, width: int, backward: bool) -> None:
         """Rows into an E-type stage: Vi->Ei, or BVi->BEi-1 for gradients."""
         if backward:

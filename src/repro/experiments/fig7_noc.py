@@ -69,6 +69,7 @@ def run_fig7(
     scales: dict[str, float] | None = None,
     seed: int = 0,
     use_sa: bool = False,
+    sa_restarts: int = 1,
 ) -> Fig7Result:
     """Evaluate every dataset with and without multicast routing."""
     scales = scales or DEFAULT_SCALES
@@ -76,7 +77,9 @@ def run_fig7(
     points: dict[str, Fig7Point] = {}
     for name in dataset_names():
         wl = accelerator.build_workload(name, scale=scales[name], seed=seed)
-        multicast = accelerator.evaluate(wl, multicast=True, use_sa=use_sa, seed=seed)
+        multicast = accelerator.evaluate(
+            wl, multicast=True, use_sa=use_sa, seed=seed, sa_restarts=sa_restarts
+        )
         unicast = accelerator.evaluate(
             wl, multicast=False, stage_map=multicast.stage_map
         )

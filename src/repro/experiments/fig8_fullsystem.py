@@ -60,6 +60,7 @@ def run_fig8(
     scales: dict[str, float] | None = None,
     seed: int = 0,
     use_sa: bool = False,
+    sa_restarts: int = 1,
     gpu: GPUModel | None = None,
 ) -> Fig8Result:
     """Full-system comparison on every dataset."""
@@ -69,6 +70,8 @@ def run_fig8(
     comparisons: dict[str, FullSystemComparison] = {}
     for name in dataset_names():
         wl = accelerator.build_workload(name, scale=scales[name], seed=seed)
-        report = accelerator.evaluate(wl, multicast=True, use_sa=use_sa, seed=seed)
+        report = accelerator.evaluate(
+            wl, multicast=True, use_sa=use_sa, seed=seed, sa_restarts=sa_restarts
+        )
         comparisons[name] = compare_with_gpu(report, gpu)
     return Fig8Result(comparisons=comparisons)
