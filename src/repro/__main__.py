@@ -8,17 +8,27 @@ Commands:
     thermal                    tier-count thermal feasibility study
     sweep --preset NAME        run a declarative scenario campaign (parallel
                                with --jobs, cached under .repro_cache/)
+    serve                      simulate multi-tenant inference serving
+                               (single point with per-tenant SLO analytics,
+                               or --campaign for a preset cross-product)
 """
 
 from __future__ import annotations
 
 import argparse
+from dataclasses import replace
 from pathlib import Path
 
 from repro.campaign.executor import run_campaign
 from repro.campaign.presets import get_preset, preset_names
 from repro.campaign.store import DEFAULT_ROOT, ResultStore
-from repro.core import ReGraphX, ThermalModel, compare_with_gpu, tier_powers_from_report
+from repro.core import (
+    ReGraphX,
+    ThermalModel,
+    ThermalSpec,
+    compare_with_gpu,
+    tier_powers_from_report,
+)
 from repro.experiments.common import DEFAULT_SCALES
 from repro.experiments.runner import ALL_EXPERIMENTS
 from repro.experiments.runner import run as run_experiments
@@ -52,12 +62,21 @@ def cmd_sweep(args: argparse.Namespace) -> None:
             if spec.description:
                 print(f"    {spec.description}")
         return
+    if args.prune is not None:
+        store = ResultStore(args.cache)
+        before = store.size_report()
+        removed = store.prune(args.prune)
+        after = store.size_report()
+        print(
+            f"pruned {removed} of {before['entries']} records "
+            f"({before['total_bytes']} -> {after['total_bytes']} bytes) "
+            f"under {store.root}/"
+        )
+        return
     if not args.preset:
         raise SystemExit("sweep: --preset NAME required (see --list-presets)")
     spec = get_preset(args.preset)
     if args.seed is not None:
-        from dataclasses import replace
-
         spec = replace(spec, base=replace(spec.base, seed=args.seed))
     store = None if args.no_cache else ResultStore(args.cache)
     print(f"campaign {spec.summary()}  (jobs={args.jobs})")
@@ -93,11 +112,29 @@ def cmd_evaluate(args: argparse.Namespace) -> None:
 
 
 def cmd_thermal(args: argparse.Namespace) -> None:
-    accelerator = ReGraphX()
+    if args.tiers is None:
+        accelerator = ReGraphX()
+    else:
+        # Materialize the tier override through the campaign convention
+        # (V tier re-centered, static power rescaled with tile count).
+        from repro.campaign.spec import Scenario
+
+        accelerator = ReGraphX(Scenario(tiers=args.tiers).to_config())
     workload = accelerator.build_workload("reddit", scale=0.02, seed=args.seed or 0)
     report = accelerator.evaluate(workload)
     powers = tier_powers_from_report(report)
-    model = ThermalModel()
+    defaults = ThermalSpec()
+    spec = ThermalSpec(
+        ambient_celsius=(
+            args.ambient if args.ambient is not None else defaults.ambient_celsius
+        ),
+        layer_resistance=(
+            args.layer_resistance
+            if args.layer_resistance is not None
+            else defaults.layer_resistance
+        ),
+    )
+    model = ThermalModel(spec)
     profile = model.steady_state(powers)
     print("per-tier power (W):", [f"{p:.1f}" for p in powers])
     print("per-tier temp (C): ", [f"{t:.1f}" for t in profile.tier_celsius])
@@ -106,6 +143,104 @@ def cmd_thermal(args: argparse.Namespace) -> None:
     per_tier = sum(powers) / len(powers)
     print(f"max feasible tiers at {per_tier:.1f} W/tier: "
           f"{model.max_feasible_tiers(per_tier)}")
+
+
+def cmd_serve(args: argparse.Namespace) -> None:
+    from repro.serve import (
+        ServingRecord,
+        ServingScenario,
+        get_serving_preset,
+        run_serving_campaign,
+        scenario_with,
+        serving_key,
+        serving_preset_names,
+        simulate_serving_scenario,
+    )
+
+    if args.list_presets:
+        for name in serving_preset_names():
+            spec = get_serving_preset(name)
+            print(f"{spec.summary()}")
+            if spec.description:
+                print(f"    {spec.description}")
+        return
+
+    overrides = {}
+    for field_name, arg_name in (
+        ("dataset", "dataset"),
+        ("scale", "scale"),
+        ("arrival", "arrival"),
+        ("qps", "qps"),
+        ("duration_seconds", "duration"),
+        ("num_tenants", "tenants"),
+        ("max_batch", "batch"),
+        ("policy", "policy"),
+        ("instances", "instances"),
+        ("seed", "seed"),
+    ):
+        value = getattr(args, arg_name)
+        if value is not None:
+            overrides[field_name] = value
+    if args.max_wait_ms is not None:
+        overrides["max_wait_seconds"] = args.max_wait_ms / 1e3
+    if args.slo_ms is not None:
+        overrides["slo_seconds"] = args.slo_ms / 1e3
+
+    store = None if args.no_cache else ResultStore(args.cache)
+    if args.campaign:
+        if not args.preset:
+            raise SystemExit("serve: --campaign needs --preset NAME")
+        if args.plan_capacity:
+            raise SystemExit(
+                "serve: --plan-capacity is a single-point flag; drop --campaign"
+            )
+        spec = get_serving_preset(args.preset)
+        if overrides:
+            spec = replace(spec, base=scenario_with(spec.base, **overrides))
+        print(f"serving campaign {spec.summary()}  (jobs={args.jobs})")
+        result = run_serving_campaign(
+            spec, jobs=args.jobs, store=store, progress=print
+        )
+        out = Path(args.out)
+        json_path = result.to_json(out / f"{spec.name}.json")
+        csv_path = result.to_csv(out / f"{spec.name}.csv")
+        print()
+        print(result.table().render())
+        print(f"wrote {json_path} and {csv_path}")
+        return
+
+    base = get_serving_preset(args.preset).base if args.preset else ServingScenario()
+    scenario = scenario_with(base, **overrides) if overrides else base
+    print(f"serving scenario {scenario.display_label}: "
+          f"{scenario.arrival} arrivals at {scenario.qps:g} qps for "
+          f"{scenario.duration_seconds:g}s, {scenario.num_tenants} tenant(s), "
+          f"batch<= {scenario.max_batch}, wait<= "
+          f"{scenario.max_wait_seconds * 1e3:g}ms, policy {scenario.policy}, "
+          f"{scenario.instances} instance(s)")
+    import time
+
+    start = time.perf_counter()
+    report = simulate_serving_scenario(scenario)
+    elapsed = time.perf_counter() - start
+    print(report.render())
+    # The single-point path always re-simulates (the detailed per-tenant
+    # report is its whole point) but feeds the store for later campaigns;
+    # an existing record is left untouched so prune()'s LRU order and the
+    # record's original eval timing survive repeat runs.
+    if store is not None:
+        key = serving_key(scenario)
+        if key not in store:
+            record = ServingRecord.from_report(scenario, report, key, elapsed)
+            store.put(key, record.to_dict())
+
+    if args.plan_capacity:
+        from repro.serve import plan_capacity
+
+        plan = plan_capacity(
+            scenario, max_instances=args.max_instances, store=store
+        )
+        print()
+        print(plan.render())
 
 
 def _positive_int(text: str) -> int:
@@ -141,7 +276,19 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--scale", type=float, default=None)
     ev.add_argument("--unicast", action="store_true", help="disable multicast")
 
-    sub.add_parser("thermal", help="3D-stack thermal feasibility study")
+    thermal = sub.add_parser("thermal", help="3D-stack thermal feasibility study")
+    thermal.add_argument(
+        "--tiers", type=int, default=None,
+        help="stacked tier count (default: the paper's 3-tier stack)",
+    )
+    thermal.add_argument(
+        "--ambient", type=float, default=None,
+        help="ambient temperature in C (default: ThermalSpec default)",
+    )
+    thermal.add_argument(
+        "--layer-resistance", type=float, default=None,
+        help="per-layer vertical thermal resistance in K/W",
+    )
 
     sweep = sub.add_parser(
         "sweep", help="run a declarative scenario campaign (cached, parallel)"
@@ -164,6 +311,89 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--list-presets", action="store_true", help="list presets and exit"
     )
+    sweep.add_argument(
+        "--prune", type=int, default=None, metavar="MAX",
+        help="evict oldest cached records down to MAX entries and exit",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="multi-tenant inference-serving simulation (SLO analytics)",
+    )
+    serve.add_argument(
+        "--preset", default=None,
+        help="serving preset supplying the base scenario (see --list-presets)",
+    )
+    serve.add_argument(
+        "--campaign", action="store_true",
+        help="run the preset's full cross-product instead of a single point",
+    )
+    serve.add_argument("--qps", type=float, default=None, help="offered load")
+    serve.add_argument(
+        "--instances", type=_positive_int, default=None,
+        help="replicated accelerator instances",
+    )
+    serve.add_argument(
+        "--batch", type=_positive_int, default=None,
+        help="scheduler max batch size",
+    )
+    serve.add_argument(
+        "--max-wait-ms", type=float, default=None,
+        help="scheduler max-wait deadline (milliseconds)",
+    )
+    serve.add_argument(
+        "--policy", choices=("fifo", "wfq"), default=None,
+        help="batch composition policy",
+    )
+    serve.add_argument(
+        "--arrival", choices=("poisson", "mmpp", "diurnal"), default=None,
+        help="open-loop arrival model",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=None,
+        help="admission window (seconds of simulated traffic)",
+    )
+    serve.add_argument(
+        "--tenants", type=_positive_int, default=None,
+        help="equal-weight tenants sharing the stream",
+    )
+    serve.add_argument(
+        "--slo-ms", type=float, default=None,
+        help="per-request latency SLO (milliseconds)",
+    )
+    serve.add_argument("--dataset", choices=dataset_names(), default=None)
+    serve.add_argument(
+        "--scale", type=float, default=None,
+        help="workload scale calibrating the service model",
+    )
+    serve.add_argument(
+        "--plan-capacity", action="store_true",
+        help="also binary-search the minimum fleet meeting the SLO",
+    )
+    serve.add_argument(
+        "--max-instances", type=_positive_int, default=32,
+        help="capacity-search upper bound (default 32)",
+    )
+    serve.add_argument(
+        "--jobs", type=_positive_int, default=1,
+        help="worker processes for --campaign (default 1)",
+    )
+    serve.add_argument(
+        "--out", default="results", help="artifact directory (default results/)"
+    )
+    serve.add_argument(
+        "--cache", default=DEFAULT_ROOT,
+        help=f"result store root (default {DEFAULT_ROOT}/)",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true",
+        help="do not touch the result store (single points always "
+        "re-simulate; this also skips recording them)",
+    )
+    serve.add_argument(
+        "--list-presets", action="store_true",
+        help="list serving presets and exit",
+    )
     return parser
 
 
@@ -175,6 +405,7 @@ def main(argv: list[str] | None = None) -> None:
         "evaluate": cmd_evaluate,
         "thermal": cmd_thermal,
         "sweep": cmd_sweep,
+        "serve": cmd_serve,
     }[args.command]
     handler(args)
 

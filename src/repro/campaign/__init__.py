@@ -15,7 +15,12 @@ The pieces (see DESIGN.md for the repo map):
   stored campaign output (reuses the DSE layer's ``pareto_front``).
 """
 
-from repro.campaign.executor import evaluate_scenario, run_campaign, run_scenarios
+from repro.campaign.executor import (
+    evaluate_scenario,
+    run_cached_scenarios,
+    run_campaign,
+    run_scenarios,
+)
 from repro.campaign.presets import PRESETS, get_preset, preset_names
 from repro.campaign.results import CampaignResult, ScenarioRecord
 from repro.campaign.spec import SCHEMA_VERSION, CampaignSpec, Scenario
@@ -31,6 +36,7 @@ __all__ = [
     "scenario_key",
     "evaluate_scenario",
     "run_scenarios",
+    "run_cached_scenarios",
     "run_campaign",
     "PRESETS",
     "get_preset",

@@ -1,12 +1,18 @@
 """Campaign execution: evaluate scenarios serially or across processes.
 
 The executor is the single funnel every sweep goes through — DSE sweeps,
-CLI campaigns, tests.  For each scenario it first consults the
-content-addressed :class:`~repro.campaign.store.ResultStore` (a hit costs
-one JSON read), then fans the remaining evaluations out over a
-``ProcessPoolExecutor`` (``jobs > 1``) or runs them inline.  Results come
-back in scenario order regardless of completion order, so parallel and
-serial runs are bit-identical.
+CLI campaigns, serving campaigns, tests.  For each scenario it first
+consults the content-addressed :class:`~repro.campaign.store.ResultStore`
+(a hit costs one JSON read), then fans the remaining evaluations out over
+a ``ProcessPoolExecutor`` (``jobs > 1``) or runs them inline.  Results
+come back in scenario order regardless of completion order, so parallel
+and serial runs are bit-identical.
+
+The cache-first fan-out core (:func:`run_cached_scenarios`) is generic
+over the record type: any frozen dataclass with ``label``/``scenario``/
+``eval_seconds``/``cached`` fields plus ``to_dict``/``from_dict`` — the
+architecture :class:`~repro.campaign.results.ScenarioRecord` here, the
+serving layer's ``ServingRecord`` in :mod:`repro.serve.sweep`.
 
 Determinism: every scenario carries its own seed (part of its content
 hash), and each evaluation builds its workload and mapping from that seed
@@ -17,7 +23,8 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Callable, Sequence
+from functools import partial
+from typing import Any, Callable, Sequence, TypeVar
 
 from repro.campaign.results import CampaignResult, ScenarioRecord
 from repro.campaign.spec import CampaignSpec, Scenario
@@ -75,6 +82,102 @@ def evaluate_scenario(
     )
 
 
+R = TypeVar("R")
+
+
+def run_cached_scenarios(
+    scenarios: Sequence[Any],
+    keys: Sequence[str],
+    leaf: Callable[[Any, str], R],
+    record_type: type[R],
+    jobs: int = 1,
+    store: ResultStore | None = None,
+    progress: ProgressFn | None = None,
+) -> tuple[list[R], int, int]:
+    """Cache-first fan-out: the shared core of every campaign flavour.
+
+    For each ``(scenario, key)`` pair, a stored record is revived (and
+    relabelled with the scenario's current display label); misses run
+    through ``leaf(scenario, key)`` — inline, or across a process pool —
+    and are persisted by this parent, so workers never touch the store.
+
+    Args:
+        scenarios: evaluation points, already labelled and seeded.
+        keys: one content-hash per scenario (same order).
+        leaf: module-level (picklable) evaluator returning one record.
+        record_type: record dataclass providing ``from_dict``.
+        jobs: worker processes for cache misses (``<= 1`` runs inline).
+        store: result cache; ``None`` disables persistence entirely.
+        progress: per-scenario callback (e.g. ``print``).
+
+    Returns:
+        ``(records in scenario order, cache hits, cache misses)``.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    scenarios = list(scenarios)
+    records: list[R | None] = [None] * len(scenarios)
+
+    pending: list[int] = []
+    for i, (scenario, key) in enumerate(zip(scenarios, keys)):
+        stored = store.get(key) if store is not None else None
+        if stored is not None:
+            records[i] = _relabel(
+                record_type.from_dict(stored, cached=True),  # type: ignore[attr-defined]
+                scenario.display_label,
+            )
+        else:
+            pending.append(i)
+    hits = len(scenarios) - len(pending)
+
+    done = 0
+    total = len(scenarios)
+
+    def report(record: Any) -> None:
+        nonlocal done
+        done += 1
+        if progress is not None:
+            status = "cache hit" if record.cached else f"{record.eval_seconds:.1f}s"
+            progress(f"[{done}/{total}] {record.label}  ({status})")
+
+    for i in range(len(scenarios)):
+        if records[i] is not None:
+            report(records[i])
+
+    if pending and jobs > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {
+                pool.submit(leaf, scenarios[i], keys[i]): i for i in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    i = futures[future]
+                    record = future.result()
+                    records[i] = record
+                    if store is not None:
+                        store.put(keys[i], record.to_dict())  # type: ignore[attr-defined]
+                    report(record)
+    else:
+        for i in pending:
+            record = leaf(scenarios[i], keys[i])
+            records[i] = record
+            if store is not None:
+                store.put(keys[i], record.to_dict())  # type: ignore[attr-defined]
+            report(record)
+
+    assert all(r is not None for r in records)
+    return list(records), hits, len(pending)  # type: ignore[arg-type]
+
+
+def _evaluate_leaf(
+    scenario: Scenario, key: str, base_config: ReGraphXConfig | None = None
+) -> ScenarioRecord:
+    """Architecture leaf with the ``(scenario, key)`` funnel signature."""
+    return evaluate_scenario(scenario, base_config, key=key)
+
+
 def run_scenarios(
     scenarios: Sequence[Scenario],
     base_config: ReGraphXConfig | None = None,
@@ -93,68 +196,23 @@ def run_scenarios(
         progress: per-scenario callback (e.g. ``print``).
         name: campaign name carried into the result.
     """
-    if jobs < 1:
-        raise ValueError(f"jobs must be >= 1, got {jobs}")
     scenarios = list(scenarios)
     started = time.perf_counter()
     keys = [scenario_key(s, base_config) for s in scenarios]
-    records: list[ScenarioRecord | None] = [None] * len(scenarios)
-
-    pending: list[int] = []
-    for i, (scenario, key) in enumerate(zip(scenarios, keys)):
-        stored = store.get(key) if store is not None else None
-        if stored is not None:
-            records[i] = _relabel(
-                ScenarioRecord.from_dict(stored, cached=True), scenario
-            )
-        else:
-            pending.append(i)
-    hits = len(scenarios) - len(pending)
-
-    done = 0
-    total = len(scenarios)
-
-    def report(record: ScenarioRecord) -> None:
-        nonlocal done
-        done += 1
-        if progress is not None:
-            status = "cache hit" if record.cached else f"{record.eval_seconds:.1f}s"
-            progress(f"[{done}/{total}] {record.label}  ({status})")
-
-    for i in range(len(scenarios)):
-        if records[i] is not None:
-            report(records[i])
-
-    if pending and jobs > 1:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-            futures = {
-                pool.submit(evaluate_scenario, scenarios[i], base_config, None, keys[i]): i
-                for i in pending
-            }
-            remaining = set(futures)
-            while remaining:
-                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    i = futures[future]
-                    record = future.result()
-                    records[i] = record
-                    if store is not None:
-                        store.put(keys[i], record.to_dict())
-                    report(record)
-    else:
-        for i in pending:
-            record = evaluate_scenario(scenarios[i], base_config, key=keys[i])
-            records[i] = record
-            if store is not None:
-                store.put(keys[i], record.to_dict())
-            report(record)
-
-    assert all(r is not None for r in records)
+    records, hits, misses = run_cached_scenarios(
+        scenarios,
+        keys,
+        partial(_evaluate_leaf, base_config=base_config),
+        ScenarioRecord,
+        jobs=jobs,
+        store=store,
+        progress=progress,
+    )
     return CampaignResult(
         name=name,
-        records=list(records),  # type: ignore[arg-type]
+        records=records,
         hits=hits,
-        misses=len(pending),
+        misses=misses,
         elapsed_seconds=time.perf_counter() - started,
     )
 
@@ -176,16 +234,19 @@ def run_campaign(
     )
 
 
-def _relabel(record: ScenarioRecord, scenario: Scenario) -> ScenarioRecord:
+def _relabel(record: R, display_label: str) -> R:
     """Carry the *current* display label on a cached record.
 
     Labels are presentation, not content — two sweeps may name the same
-    architecture point differently, and each should see its own name.
+    evaluation point differently, and each should see its own name.
+    Works on any record dataclass with ``label`` + ``scenario`` fields.
     """
-    if record.label == scenario.display_label:
+    if record.label == display_label:  # type: ignore[attr-defined]
         return record
     from dataclasses import replace
 
-    described = dict(record.scenario)
-    described["label"] = scenario.display_label
-    return replace(record, label=scenario.display_label, scenario=described)
+    described = dict(record.scenario)  # type: ignore[attr-defined]
+    described["label"] = display_label
+    return replace(  # type: ignore[type-var]
+        record, label=display_label, scenario=described
+    )

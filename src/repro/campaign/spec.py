@@ -175,8 +175,21 @@ class Scenario:
         return cls(**{k: v for k, v in dict(data).items() if k in names})
 
 
-#: Scenario fields a campaign may sweep over.
-AXIS_FIELDS = tuple(f.name for f in fields(Scenario) if f.name != "label")
+def axis_fields(scenario_type: type) -> tuple[str, ...]:
+    """The fields of a scenario dataclass a campaign may sweep over.
+
+    Any frozen dataclass with a ``label`` field and an ``auto_label()``
+    method can act as a campaign base (the architecture
+    :class:`Scenario` here, :class:`repro.serve.scenario.ServingScenario`
+    for the serving engine); every field except the display label is a
+    legal sweep axis.
+    """
+    return tuple(f.name for f in fields(scenario_type) if f.name != "label")
+
+
+#: Architecture-scenario axes (kept for backward compatibility; the axis
+#: population is derived from the base scenario's type in general).
+AXIS_FIELDS = axis_fields(Scenario)
 
 
 @dataclass(frozen=True)
@@ -186,11 +199,14 @@ class CampaignSpec:
     ``axes`` maps scenario field names to the values to sweep; scenarios
     are enumerated in row-major order (last axis fastest), each labelled
     with the varying knobs.  The spec itself never evaluates anything —
-    hand it to :func:`repro.campaign.executor.run_campaign`.
+    hand it to :func:`repro.campaign.executor.run_campaign` (architecture
+    scenarios) or :func:`repro.serve.sweep.run_serving_campaign` (serving
+    scenarios).  Axes are validated against the *base scenario's* fields,
+    so the same spec machinery sweeps any scenario dataclass.
     """
 
     name: str
-    base: Scenario = field(default_factory=Scenario)
+    base: Any = field(default_factory=Scenario)
     axes: tuple[tuple[str, tuple[Any, ...]], ...] = ()
     base_config: ReGraphXConfig | None = None
     description: str = ""
@@ -198,15 +214,16 @@ class CampaignSpec:
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("a campaign needs a name")
+        legal = axis_fields(type(self.base))
         normalized: list[tuple[str, tuple[Any, ...]]] = []
         axes = self.axes
         if isinstance(axes, Mapping):
             axes = tuple(axes.items())
         for entry in axes:
             name, values = entry
-            if name not in AXIS_FIELDS:
+            if name not in legal:
                 raise ValueError(
-                    f"unknown sweep axis {name!r}; choose from {AXIS_FIELDS}"
+                    f"unknown sweep axis {name!r}; choose from {legal}"
                 )
             if isinstance(values, (str, bytes)) or not isinstance(
                 values, Sequence
@@ -226,11 +243,11 @@ class CampaignSpec:
             total *= len(values)
         return total
 
-    def scenarios(self) -> list[Scenario]:
+    def scenarios(self) -> list[Any]:
         """Enumerate the cross-product, one labelled scenario per cell."""
         names = [name for name, _ in self.axes]
         grids = [values for _, values in self.axes]
-        out: list[Scenario] = []
+        out: list[Any] = []
         for assignment in itertools.product(*grids):
             overrides = dict(zip(names, assignment))
             scenario = replace(self.base, **overrides, label="")

@@ -109,3 +109,51 @@ class ResultStore:
             path.unlink()
             removed += 1
         return removed
+
+    def size_report(self) -> dict[str, int]:
+        """``{"entries": N, "total_bytes": B}`` for everything stored.
+
+        Long serving sweeps can accumulate thousands of records; this is
+        the cheap way to see how big ``.repro_cache/`` has grown before
+        deciding what :meth:`prune` budget to apply.
+        """
+        entries = 0
+        total = 0
+        if self.campaigns_dir.is_dir():
+            for path in self.campaigns_dir.glob("*/*.json"):
+                try:
+                    total += path.stat().st_size
+                except OSError:
+                    continue  # racing deletion; skip
+                entries += 1
+        return {"entries": entries, "total_bytes": total}
+
+    def prune(self, max_entries: int) -> int:
+        """Evict least-recently-used records down to ``max_entries``.
+
+        Records are ranked by file modification time (oldest first, key as
+        a deterministic tie-break) and deleted until at most
+        ``max_entries`` remain; returns how many were removed.  Reads never
+        touch mtime, so "least recently used" here means least recently
+        *written* — good enough to keep unbounded sweep histories from
+        growing the cache forever.
+        """
+        if max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        if not self.campaigns_dir.is_dir():
+            return 0
+        ranked: list[tuple[float, str, Path]] = []
+        for path in self.campaigns_dir.glob("*/*.json"):
+            try:
+                ranked.append((path.stat().st_mtime, path.stem, path))
+            except OSError:
+                continue  # racing deletion; skip
+        ranked.sort()
+        removed = 0
+        for _, _, path in ranked[: max(0, len(ranked) - max_entries)]:
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+        return removed

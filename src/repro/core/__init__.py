@@ -20,6 +20,7 @@ from repro.core.dse import (
     pareto_front,
     sweep_mesh,
     sweep_sa_restarts,
+    sweep_serving_qps,
     sweep_tiers,
 )
 from repro.core.evaluation import FullSystemComparison, compare_with_gpu
@@ -69,5 +70,6 @@ __all__ = [
     "sweep_tiers",
     "sweep_mesh",
     "sweep_sa_restarts",
+    "sweep_serving_qps",
     "pareto_front",
 ]

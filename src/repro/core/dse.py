@@ -203,6 +203,50 @@ def sweep_sa_restarts(
     ]
 
 
+def sweep_serving_qps(
+    qps_values: list[float],
+    dataset: str = "ppi",
+    scale: float = 0.05,
+    instances: int = 2,
+    max_batch: int = 8,
+    duration_seconds: float = 1.0,
+    arrival: str = "poisson",
+    seed: int = 0,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+):
+    """Sweep offered load on the serving engine; the latency-vs-load axis.
+
+    The serving-layer analogue of the architecture sweeps above: each QPS
+    point runs the full arrival -> batching -> replica simulation (service
+    times calibrated once from the inference-mode ``evaluate()``) and
+    returns one :class:`~repro.serve.scenario.ServingRecord` per rate with
+    p50/p95/p99 latency, throughput, utilization and SLO-violation rate.
+    """
+    from repro.campaign.spec import CampaignSpec
+    from repro.serve.scenario import ServingScenario
+    from repro.serve.sweep import run_serving_campaign
+
+    if not qps_values:
+        raise ValueError("need at least one qps value")
+    if any(q <= 0 for q in qps_values):
+        raise ValueError("qps values must be positive")
+    spec = CampaignSpec(
+        name="sweep-serving-qps",
+        base=ServingScenario(
+            dataset=dataset,
+            scale=scale,
+            instances=instances,
+            max_batch=max_batch,
+            duration_seconds=duration_seconds,
+            arrival=arrival,
+            seed=seed,
+        ),
+        axes=(("qps", tuple(float(q) for q in qps_values)),),
+    )
+    return run_serving_campaign(spec, jobs=jobs, store=store).records
+
+
 def pareto_front(points: list[DesignPoint]) -> list[DesignPoint]:
     """Pareto-efficient subset on (epoch time, energy, peak temperature).
 

@@ -12,6 +12,7 @@ from repro.experiments.fig5_accuracy import Fig5Result, run_fig5
 from repro.experiments.fig6_batch import Fig6Result, run_fig6
 from repro.experiments.fig7_noc import Fig7Result, run_fig7
 from repro.experiments.fig8_fullsystem import Fig8Result, run_fig8
+from repro.experiments.fig9_serving import Fig9Result, run_fig9
 from repro.experiments.tables import table1_parameters, table2_datasets
 
 __all__ = [
@@ -27,6 +28,8 @@ __all__ = [
     "Fig7Result",
     "run_fig8",
     "Fig8Result",
+    "run_fig9",
+    "Fig9Result",
     "table1_parameters",
     "table2_datasets",
 ]

@@ -24,6 +24,7 @@ from repro.experiments.fig5_accuracy import run_fig5
 from repro.experiments.fig6_batch import run_fig6
 from repro.experiments.fig7_noc import run_fig7
 from repro.experiments.fig8_fullsystem import run_fig8
+from repro.experiments.fig9_serving import run_fig9
 from repro.experiments.tables import table1_parameters, table2_datasets
 
 
@@ -64,6 +65,17 @@ def _fig8(seed: int) -> str:
     return result.table().render() + summary
 
 
+def _fig9(seed: int) -> str:
+    result = run_fig9(seed=seed)
+    knee = result.saturation_qps
+    summary = (
+        f"\nsaturation at ~{knee:g} qps offered"
+        if knee is not None
+        else "\nno saturation within the swept loads"
+    )
+    return result.table().render() + summary
+
+
 #: Experiment registry: name -> callable(seed) -> rendered text.
 EXPERIMENTS: dict[str, Callable[[int], str]] = {
     "table1": _table1,
@@ -73,6 +85,7 @@ EXPERIMENTS: dict[str, Callable[[int], str]] = {
     "fig6": _fig6,
     "fig7": _fig7,
     "fig8": _fig8,
+    "fig9": _fig9,
 }
 
 ALL_EXPERIMENTS = tuple(EXPERIMENTS)

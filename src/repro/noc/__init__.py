@@ -27,7 +27,12 @@ from repro.noc.routing import (
 from repro.noc.events import EventEngine, ExpandedPacket
 from repro.noc.schedule import NoCConfig, ScheduleResult, StaticScheduler
 from repro.noc.simulator import BACKENDS, FlitSimulator, SimulationResult
-from repro.noc.stats import LinkStats
+from repro.noc.stats import (
+    LatencySummary,
+    LinkStats,
+    percentile,
+    summarize_latencies,
+)
 from repro.noc.topology import Mesh2D, Mesh3D
 from repro.noc.traffic_gen import (
     hotspot_traffic,
@@ -52,6 +57,9 @@ __all__ = [
     "EventEngine",
     "ExpandedPacket",
     "LinkStats",
+    "LatencySummary",
+    "percentile",
+    "summarize_latencies",
     "uniform_random_traffic",
     "hotspot_traffic",
     "many_to_one_to_many_traffic",

@@ -15,18 +15,27 @@ import numpy as np
 from repro.noc.packet import Message
 from repro.noc.schedule import NoCConfig, StaticScheduler
 from repro.noc.simulator import BACKENDS, FlitSimulator
+from repro.noc.stats import summarize_latencies
 from repro.noc.topology import Mesh3D
 from repro.utils.rng import rng_from_seed
 
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One injection-rate sample of a load sweep."""
+    """One injection-rate sample of a load sweep.
+
+    Besides the mean, each point carries the tail of the latency
+    distribution (p50/p95/p99 finish-time latencies) — saturation shows in
+    the tail long before it moves the mean.
+    """
 
     offered_rate: float  # messages per router per 100 cycles
     average_latency_cycles: float
     makespan_cycles: int
     max_link_load: int
+    p50_latency_cycles: float = 0.0
+    p95_latency_cycles: float = 0.0
+    p99_latency_cycles: float = 0.0
 
     @property
     def saturated(self) -> bool:
@@ -99,12 +108,16 @@ def latency_throughput_sweep(
                 result.message_finish[(m.msg_id, m.dests[0])] - m.inject_cycle
                 for m in messages
             ]
+        summary = summarize_latencies(latencies)
         points.append(
             SweepPoint(
                 offered_rate=rate,
-                average_latency_cycles=float(np.mean(latencies)),
+                average_latency_cycles=summary.mean,
                 makespan_cycles=result.makespan_cycles,
                 max_link_load=result.link_stats.max_link_load,
+                p50_latency_cycles=summary.p50,
+                p95_latency_cycles=summary.p95,
+                p99_latency_cycles=summary.p99,
             )
         )
     return points

@@ -1,10 +1,83 @@
-"""Aggregated NoC statistics shared by both performance models."""
+"""Aggregated NoC statistics shared by both performance models.
+
+Besides the per-link flit accounting, this module hosts the shared
+latency-distribution helpers (:func:`percentile`,
+:func:`summarize_latencies`): NoC finish-time analysis and the serving
+engine's per-tenant SLO metrics both report the same p50/p95/p99 summary,
+so the math lives once, here.
+"""
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.noc.topology import Link, Mesh3D
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of ``values`` with linear interpolation.
+
+    Matches numpy's default (``method="linear"``) without requiring the
+    caller to materialize an array: rank ``(n - 1) * q / 100`` is
+    interpolated between its two neighbouring order statistics.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    if len(values) == 0:
+        raise ValueError("cannot take a percentile of no values")
+    return _ordered_percentile(sorted(values), q)
+
+
+def _ordered_percentile(ordered: Sequence[float], q: float) -> float:
+    """:func:`percentile` on an already-sorted population (no re-sort)."""
+    rank = (len(ordered) - 1) * q / 100.0
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return float(ordered[lo]) * (1.0 - frac) + float(ordered[hi]) * frac
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Distribution summary of one latency population (any time unit)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.max,
+        }
+
+
+def summarize_latencies(values: Sequence[float]) -> LatencySummary:
+    """p50/p95/p99 summary of ``values`` (all-zero for an empty population).
+
+    An empty population is not an error: a tenant that completed nothing
+    during a serving window, or a traffic class with no messages, simply
+    reports zeros alongside ``count=0``.
+    """
+    if len(values) == 0:
+        return LatencySummary(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, max=0.0)
+    ordered = sorted(float(v) for v in values)
+    return LatencySummary(
+        count=len(ordered),
+        mean=sum(ordered) / len(ordered),
+        p50=_ordered_percentile(ordered, 50),
+        p95=_ordered_percentile(ordered, 95),
+        p99=_ordered_percentile(ordered, 99),
+        max=ordered[-1],
+    )
 
 
 @dataclass

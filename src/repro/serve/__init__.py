@@ -1,0 +1,104 @@
+"""Serving engine: multi-tenant GNN inference traffic on the accelerator.
+
+The workload layer on top of the architecture model: streams of per-user
+inference requests arrive over time, a batching scheduler packs them onto
+replicated accelerator instances, and a discrete-event loop measures what
+a serving system actually cares about — per-tenant tail latency,
+throughput, queue depths, utilization, and SLO violations.
+
+The pieces:
+
+* :mod:`repro.serve.arrivals` — seeded open-loop arrival processes
+  (Poisson, bursty MMPP, diurnal, trace replay) emitting a common
+  ``Request`` stream, plus a closed-loop client pool.
+* :mod:`repro.serve.service` — per-batch service times derived from the
+  inference-mode ``evaluate()`` pipeline, memoized by batch shape.
+* :mod:`repro.serve.scheduler` — size-or-deadline batching with FIFO or
+  weighted-fair (stride) composition across tenants.
+* :mod:`repro.serve.engine` — the priority-queue simulation loop and the
+  per-tenant SLO analytics report.
+* :mod:`repro.serve.scenario` / :mod:`repro.serve.sweep` /
+  :mod:`repro.serve.presets` — declarative serving scenarios swept through
+  the generic campaign machinery with store-backed caching.
+* :mod:`repro.serve.capacity` — binary-search capacity planning: the
+  minimum fleet meeting a target SLO at a given load.
+"""
+
+from repro.serve.arrivals import (
+    ARRIVALS,
+    ArrivalProcess,
+    ClosedLoopPool,
+    DiurnalArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+    Request,
+    TenantMix,
+    TraceArrivals,
+    empirical_qps,
+    load_trace,
+    make_arrivals,
+    save_trace,
+)
+from repro.serve.capacity import CapacityPlan, meets_slo, plan_capacity
+from repro.serve.engine import ServingEngine, ServingReport, TenantReport
+from repro.serve.presets import (
+    SERVING_PRESETS,
+    get_serving_preset,
+    serving_preset_names,
+)
+from repro.serve.scenario import (
+    SERVE_SCHEMA_VERSION,
+    ServingRecord,
+    ServingScenario,
+    run_serving_scenario,
+    scenario_with,
+    serving_key,
+    simulate_serving_scenario,
+)
+from repro.serve.scheduler import POLICIES, Batch, BatchingScheduler
+from repro.serve.service import (
+    AcceleratorServiceModel,
+    LinearServiceModel,
+    ServiceModel,
+)
+from repro.serve.sweep import ServingCampaignResult, run_serving_campaign
+
+__all__ = [
+    "Request",
+    "TenantMix",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "MMPPArrivals",
+    "DiurnalArrivals",
+    "TraceArrivals",
+    "ClosedLoopPool",
+    "ARRIVALS",
+    "make_arrivals",
+    "empirical_qps",
+    "save_trace",
+    "load_trace",
+    "ServiceModel",
+    "LinearServiceModel",
+    "AcceleratorServiceModel",
+    "Batch",
+    "BatchingScheduler",
+    "POLICIES",
+    "ServingEngine",
+    "ServingReport",
+    "TenantReport",
+    "ServingScenario",
+    "ServingRecord",
+    "SERVE_SCHEMA_VERSION",
+    "serving_key",
+    "simulate_serving_scenario",
+    "run_serving_scenario",
+    "scenario_with",
+    "ServingCampaignResult",
+    "run_serving_campaign",
+    "SERVING_PRESETS",
+    "get_serving_preset",
+    "serving_preset_names",
+    "CapacityPlan",
+    "plan_capacity",
+    "meets_slo",
+]

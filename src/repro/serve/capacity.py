@@ -1,0 +1,120 @@
+"""Capacity planning: the smallest fleet that meets the SLO at a load.
+
+The knob is the replica count; the criterion is the SLO-violation rate
+(fraction of requests slower than the scenario's ``slo_seconds``) staying
+at or under ``max_violation_rate``.  Violation rate is monotonically
+non-increasing in the instance count for a fixed open-loop workload —
+extra replicas only ever drain the queue sooner — which is what makes
+binary search correct here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.campaign.store import ResultStore
+from repro.serve.scenario import (
+    ServingRecord,
+    ServingScenario,
+    run_serving_scenario,
+    scenario_with,
+)
+from repro.serve.service import ServiceModel
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """Outcome of one capacity search."""
+
+    scenario: ServingScenario
+    max_violation_rate: float
+    instances: int | None  # None: even max_instances misses the SLO
+    evaluated: dict[int, ServingRecord]
+
+    @property
+    def feasible(self) -> bool:
+        return self.instances is not None
+
+    @property
+    def record(self) -> ServingRecord | None:
+        """The serving record at the planned fleet size."""
+        if self.instances is None:
+            return None
+        return self.evaluated[self.instances]
+
+    def render(self) -> str:
+        lines = [
+            f"capacity plan for {self.scenario.display_label} "
+            f"(SLO {self.scenario.slo_seconds * 1e3:.1f} ms, "
+            f"violations <= {self.max_violation_rate:.1%}):"
+        ]
+        for n in sorted(self.evaluated):
+            r = self.evaluated[n]
+            marker = " <-- minimum" if n == self.instances else ""
+            lines.append(
+                f"  {n:>3} instance(s): p99 "
+                f"{r.p99_latency_seconds * 1e3:8.2f} ms, violations "
+                f"{r.slo_violation_rate:7.2%}{marker}"
+            )
+        if self.instances is None:
+            lines.append("  infeasible within the searched fleet sizes")
+        return "\n".join(lines)
+
+
+def meets_slo(record: ServingRecord, max_violation_rate: float) -> bool:
+    """The capacity criterion: violation rate within budget."""
+    return record.slo_violation_rate <= max_violation_rate
+
+
+def plan_capacity(
+    scenario: ServingScenario,
+    max_instances: int = 32,
+    max_violation_rate: float = 0.01,
+    service: ServiceModel | None = None,
+    store: ResultStore | None = None,
+) -> CapacityPlan:
+    """Binary-search the minimum instance count meeting the SLO.
+
+    Evaluates the scenario at each probed fleet size (the scenario's own
+    ``instances`` field is overridden).  Returns a plan whose
+    ``instances`` is the smallest count with
+    ``slo_violation_rate <= max_violation_rate``, or ``None`` when even
+    ``max_instances`` misses it.
+    """
+    if max_instances < 1:
+        raise ValueError(f"max_instances must be >= 1, got {max_instances}")
+    if not 0 <= max_violation_rate <= 1:
+        raise ValueError("max_violation_rate must be in [0, 1]")
+
+    evaluated: dict[int, ServingRecord] = {}
+
+    def probe(n: int) -> ServingRecord:
+        record = evaluated.get(n)
+        if record is None:
+            record = run_serving_scenario(
+                scenario_with(scenario, instances=n), service=service, store=store
+            )
+            evaluated[n] = record
+        return record
+
+    if not meets_slo(probe(max_instances), max_violation_rate):
+        return CapacityPlan(
+            scenario=scenario,
+            max_violation_rate=max_violation_rate,
+            instances=None,
+            evaluated=evaluated,
+        )
+    lo, hi = 1, max_instances
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if meets_slo(probe(mid), max_violation_rate):
+            hi = mid
+        else:
+            lo = mid + 1
+    probe(lo)
+    return CapacityPlan(
+        scenario=scenario,
+        max_violation_rate=max_violation_rate,
+        instances=lo,
+        evaluated=evaluated,
+    )

@@ -1,0 +1,301 @@
+"""Discrete-event serving simulation: arrivals -> batches -> replicas.
+
+Same priority-queue idiom as the NoC event engine
+(:mod:`repro.noc.events`): a heap of timestamped events, cost scaling
+with the number of requests rather than with elapsed time.  Three event
+kinds:
+
+* ``DEPART`` — a replica finishes a batch: record per-request latencies,
+  free the instance, re-check the queue (and, closed-loop, owe each
+  finished client its next request).
+* ``ARRIVE`` — a request joins the scheduler queue (and arms its
+  max-wait deadline).
+* ``TIMEOUT`` — a queued request's deadline passed: dispatch whatever is
+  waiting if a replica is free.
+
+Events at the same instant process departures first (a freed replica can
+serve a batch formed in the same instant), then arrivals, then timeouts;
+within a kind, insertion order breaks ties — the whole simulation is a
+deterministic function of the seeded inputs.
+
+The output :class:`ServingReport` carries the SLO analytics: per-tenant
+latency percentiles (via the shared :func:`repro.noc.stats
+.summarize_latencies`), throughput, queue depths, replica utilization,
+and SLO-violation rates.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.noc.stats import LatencySummary, summarize_latencies
+from repro.serve.arrivals import ClosedLoopPool, Request
+from repro.serve.scheduler import BatchingScheduler
+from repro.serve.service import ServiceModel
+
+_DEPART = 0
+_ARRIVE = 1
+_TIMEOUT = 2
+
+
+@dataclass(frozen=True)
+class TenantReport:
+    """SLO analytics for one tenant's completed requests."""
+
+    tenant: str
+    completed: int
+    throughput_qps: float
+    latency: LatencySummary
+    slo_violation_rate: float
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Everything one serving simulation measured."""
+
+    horizon_seconds: float
+    makespan_seconds: float
+    instances: int
+    slo_seconds: float
+    offered: int
+    completed: int
+    batches: int
+    throughput_qps: float
+    utilization: float
+    mean_batch_size: float
+    mean_queue_depth: float
+    peak_queue_depth: int
+    latency: LatencySummary
+    slo_violation_rate: float
+    tenants: dict[str, TenantReport]
+
+    def render(self) -> str:
+        """Human-readable multi-line summary (what the CLI prints)."""
+
+        def ms(seconds: float) -> str:
+            return f"{seconds * 1e3:.2f} ms"
+
+        lines = [
+            f"served {self.completed}/{self.offered} requests in "
+            f"{self.makespan_seconds:.3f} s on {self.instances} instance(s) "
+            f"({self.batches} batches, mean size {self.mean_batch_size:.2f})",
+            f"throughput {self.throughput_qps:.1f} req/s   "
+            f"utilization {self.utilization:.1%}   "
+            f"queue depth mean {self.mean_queue_depth:.2f} / "
+            f"peak {self.peak_queue_depth}",
+            f"latency  p50 {ms(self.latency.p50)}  p95 {ms(self.latency.p95)}  "
+            f"p99 {ms(self.latency.p99)}  max {ms(self.latency.max)}",
+            f"SLO {ms(self.slo_seconds)}: violation rate "
+            f"{self.slo_violation_rate:.2%}",
+        ]
+        if self.tenants:
+            lines.append("per-tenant:")
+            for name in sorted(self.tenants):
+                t = self.tenants[name]
+                lines.append(
+                    f"  {name:<12} n={t.latency.count:<7} "
+                    f"p50 {ms(t.latency.p50)}  p95 {ms(t.latency.p95)}  "
+                    f"p99 {ms(t.latency.p99)}  "
+                    f"violations {t.slo_violation_rate:.2%}"
+                )
+        return "\n".join(lines)
+
+
+def _empty_report(instances: int, slo_seconds: float, horizon: float) -> ServingReport:
+    return ServingReport(
+        horizon_seconds=horizon,
+        makespan_seconds=0.0,
+        instances=instances,
+        slo_seconds=slo_seconds,
+        offered=0,
+        completed=0,
+        batches=0,
+        throughput_qps=0.0,
+        utilization=0.0,
+        mean_batch_size=0.0,
+        mean_queue_depth=0.0,
+        peak_queue_depth=0,
+        latency=summarize_latencies([]),
+        slo_violation_rate=0.0,
+        tenants={},
+    )
+
+
+class ServingEngine:
+    """Drive a scheduler + service model + replica pool over a workload."""
+
+    def __init__(
+        self,
+        scheduler: BatchingScheduler,
+        service: ServiceModel,
+        instances: int = 2,
+        slo_seconds: float = 0.05,
+    ) -> None:
+        if instances < 1:
+            raise ValueError(f"need at least one instance, got {instances}")
+        if slo_seconds <= 0:
+            raise ValueError(f"SLO must be positive, got {slo_seconds}")
+        self.scheduler = scheduler
+        self.service = service
+        self.instances = instances
+        self.slo_seconds = slo_seconds
+
+    def run(
+        self,
+        requests: Sequence[Request] | None = None,
+        closed_loop: ClosedLoopPool | None = None,
+        horizon_seconds: float | None = None,
+    ) -> ServingReport:
+        """Simulate one workload to completion.
+
+        Exactly one of ``requests`` (open-loop: the pre-generated stream)
+        or ``closed_loop`` (a client pool the simulation drives) must be
+        given.  ``horizon_seconds`` stops *admission* — requests arriving
+        at or after it are dropped (closed-loop pools stop spawning) —
+        but everything admitted is served to completion.  Closed-loop
+        runs require a horizon or they would never terminate.
+        """
+        if (requests is None) == (closed_loop is None):
+            raise ValueError("provide exactly one of requests / closed_loop")
+        if closed_loop is not None and horizon_seconds is None:
+            raise ValueError("closed-loop runs need horizon_seconds")
+        if horizon_seconds is not None and horizon_seconds <= 0:
+            raise ValueError("horizon must be positive")
+
+        scheduler = self.scheduler
+        events: list[tuple[float, int, int, object]] = []
+        seq = 0
+
+        def push(time: float, kind: int, payload: object) -> None:
+            nonlocal seq
+            heapq.heappush(events, (time, kind, seq, payload))
+            seq += 1
+
+        initial = (
+            list(requests) if requests is not None else closed_loop.initial_requests()
+        )
+        offered = 0
+        for request in sorted(
+            initial, key=lambda r: (r.arrival_time, r.request_id)
+        ):
+            if horizon_seconds is not None and request.arrival_time >= horizon_seconds:
+                continue
+            push(request.arrival_time, _ARRIVE, request)
+            offered += 1
+        horizon = horizon_seconds or max(
+            (r.arrival_time for r in initial), default=0.0
+        )
+        if not events:
+            return _empty_report(self.instances, self.slo_seconds, horizon)
+
+        free: list[int] = list(range(self.instances))
+        heapq.heapify(free)
+        busy_seconds = 0.0
+        batches = 0
+        served = 0
+        latencies: dict[str, list[float]] = {}
+        depth_integral = 0.0
+        peak_depth = 0
+        last_time = 0.0
+        makespan = 0.0
+
+        def try_dispatch(now: float) -> None:
+            nonlocal busy_seconds, batches
+            while free and scheduler.ready(now):
+                batch = scheduler.pop_batch(now)
+                instance = heapq.heappop(free)
+                seconds = self.service.batch_service_seconds(batch.graph_sizes)
+                busy_seconds += seconds
+                batches += 1
+                push(now + seconds, _DEPART, (instance, batch))
+
+        while events:
+            now, kind, _, payload = heapq.heappop(events)
+            depth_integral += scheduler.queue_depth * (now - last_time)
+            last_time = now
+            if kind == _DEPART:
+                # Only departures advance the makespan: stale TIMEOUT
+                # events outliving the last departure are no-ops and must
+                # not inflate the throughput/utilization window.
+                makespan = now
+                instance, batch = payload  # type: ignore[misc]
+                heapq.heappush(free, instance)
+                for request in batch.requests:
+                    latencies.setdefault(request.tenant, []).append(
+                        now - request.arrival_time
+                    )
+                    served += 1
+                    if closed_loop is not None:
+                        follow_up = closed_loop.next_request(now)
+                        if follow_up.arrival_time < horizon:
+                            push(follow_up.arrival_time, _ARRIVE, follow_up)
+                            offered += 1
+                try_dispatch(now)
+            elif kind == _ARRIVE:
+                request = payload  # type: ignore[assignment]
+                scheduler.enqueue(request)
+                peak_depth = max(peak_depth, scheduler.queue_depth)
+                if scheduler.max_wait_seconds > 0:
+                    push(now + scheduler.max_wait_seconds, _TIMEOUT, None)
+                try_dispatch(now)
+            else:  # _TIMEOUT: the queue head may have exceeded its wait.
+                try_dispatch(now)
+
+        return self._report(
+            horizon=horizon,
+            makespan=makespan,
+            offered=offered,
+            served=served,
+            batches=batches,
+            busy_seconds=busy_seconds,
+            depth_integral=depth_integral,
+            peak_depth=peak_depth,
+            latencies=latencies,
+        )
+
+    def _report(
+        self,
+        horizon: float,
+        makespan: float,
+        offered: int,
+        served: int,
+        batches: int,
+        busy_seconds: float,
+        depth_integral: float,
+        peak_depth: int,
+        latencies: dict[str, list[float]],
+    ) -> ServingReport:
+        window = makespan if makespan > 0 else 1.0
+        all_latencies = [v for values in latencies.values() for v in values]
+        violations = sum(1 for v in all_latencies if v > self.slo_seconds)
+        tenants: dict[str, TenantReport] = {}
+        for name in sorted(latencies):
+            values = latencies[name]
+            tenants[name] = TenantReport(
+                tenant=name,
+                completed=len(values),
+                throughput_qps=len(values) / window,
+                latency=summarize_latencies(values),
+                slo_violation_rate=(
+                    sum(1 for v in values if v > self.slo_seconds) / len(values)
+                ),
+            )
+        return ServingReport(
+            horizon_seconds=horizon,
+            makespan_seconds=makespan,
+            instances=self.instances,
+            slo_seconds=self.slo_seconds,
+            offered=offered,
+            completed=served,
+            batches=batches,
+            throughput_qps=served / window,
+            utilization=busy_seconds / (self.instances * window),
+            mean_batch_size=served / batches if batches else 0.0,
+            mean_queue_depth=depth_integral / window,
+            peak_queue_depth=peak_depth,
+            latency=summarize_latencies(all_latencies),
+            slo_violation_rate=violations / served if served else 0.0,
+            tenants=tenants,
+        )

@@ -1,0 +1,94 @@
+"""Named serving campaigns for ``python -m repro serve``.
+
+Each preset is a ready-to-run :class:`~repro.campaign.spec.CampaignSpec`
+whose base is a :class:`~repro.serve.scenario.ServingScenario`.  Workload
+defaults are laptop-friendly (the service model calibrates once per
+dataset and every simulated second costs only the event loop), so even
+the 12-point cross-products finish in seconds — near-instantly on a warm
+result store.
+"""
+
+from __future__ import annotations
+
+from repro.campaign.spec import CampaignSpec
+from repro.serve.scenario import ServingScenario
+
+_BASE = ServingScenario(
+    dataset="ppi",
+    scale=0.05,
+    qps=50.0,
+    duration_seconds=1.0,
+    num_tenants=2,
+    max_batch=8,
+    instances=1,
+    seed=0,
+)
+
+
+def _build_presets() -> dict[str, CampaignSpec]:
+    return {
+        "serving": CampaignSpec(
+            name="serving",
+            base=_BASE,
+            axes=(
+                ("qps", (25.0, 100.0, 400.0)),
+                ("max_batch", (1, 8)),
+                ("instances", (1, 2)),
+            ),
+            description=(
+                "load x batching x fleet-size cross-product: where the "
+                "latency knee sits and what batching + replication buy "
+                "(12 scenarios)"
+            ),
+        ),
+        "arrivals": CampaignSpec(
+            name="arrivals",
+            base=_BASE,
+            axes=(
+                ("arrival", ("poisson", "mmpp", "diurnal")),
+                ("qps", (50.0, 200.0)),
+            ),
+            description=(
+                "arrival-model study: identical average load offered "
+                "smoothly, in bursts, and diurnally — tail latency tells "
+                "them apart"
+            ),
+        ),
+        "policies": CampaignSpec(
+            name="policies",
+            base=ServingScenario(
+                dataset="ppi",
+                scale=0.05,
+                qps=200.0,
+                duration_seconds=1.0,
+                num_tenants=4,
+                instances=1,
+                seed=0,
+            ),
+            axes=(
+                ("policy", ("fifo", "wfq")),
+                ("max_batch", (4, 16)),
+            ),
+            description=(
+                "scheduler-policy study: FIFO vs weighted-fair batching "
+                "under a 4-tenant overload"
+            ),
+        ),
+    }
+
+
+SERVING_PRESETS: dict[str, CampaignSpec] = _build_presets()
+
+
+def serving_preset_names() -> list[str]:
+    return sorted(SERVING_PRESETS)
+
+
+def get_serving_preset(name: str) -> CampaignSpec:
+    try:
+        return SERVING_PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown serving preset {name!r}; "
+            f"choose from {serving_preset_names()}"
+        ) from None

@@ -1,0 +1,312 @@
+"""Declarative serving scenarios: one evaluation point of the serving engine.
+
+A :class:`ServingScenario` mirrors the architecture layer's
+:class:`~repro.campaign.spec.Scenario` contract (frozen dataclass with a
+``label`` field and ``auto_label()``), so the generic
+:class:`~repro.campaign.spec.CampaignSpec` machinery sweeps serving knobs
+— QPS x batch size x instances and friends — with no new cross-product
+code.  :func:`run_serving_scenario` is the leaf evaluator; its flat
+:class:`ServingRecord` output persists in the same content-addressed
+:class:`~repro.campaign.store.ResultStore` as architecture results, keyed
+by :func:`serving_key`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, fields, replace
+from typing import Any, Mapping
+
+from repro.campaign.store import ResultStore
+from repro.serve.arrivals import ARRIVALS, TenantMix, make_arrivals
+from repro.serve.engine import ServingEngine, ServingReport
+from repro.serve.scheduler import POLICIES, BatchingScheduler
+from repro.serve.service import AcceleratorServiceModel, ServiceModel
+from repro.utils.hashing import stable_digest
+
+#: Bump when the serving model changes in a way that invalidates cached
+#: serving records (participates in every serving scenario's content hash).
+SERVE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ServingScenario:
+    """One serving evaluation point: workload + scheduler + fleet knobs.
+
+    Attributes:
+        dataset / scale: the accelerator workload that calibrates the
+            service-time model (defaults match the campaign presets).
+        arrival: open-loop arrival model (``poisson``/``mmpp``/``diurnal``).
+        qps: nominal offered load, requests per second.
+        duration_seconds: admission window; everything admitted is served.
+        num_tenants: equal-weight tenants sharing the stream.
+        max_batch: scheduler batch-size cap.
+        max_wait_seconds: scheduler deadline for the oldest queued request.
+        policy: batch composition (``fifo``/``wfq``).
+        instances: replicated accelerator instances.
+        slo_seconds: per-request latency target for violation accounting.
+        seed: RNG seed for arrivals and service-model calibration.
+        label: display name; auto-derived when empty.
+    """
+
+    dataset: str = "ppi"
+    scale: float = 0.05
+    arrival: str = "poisson"
+    qps: float = 100.0
+    duration_seconds: float = 2.0
+    num_tenants: int = 2
+    max_batch: int = 8
+    max_wait_seconds: float = 0.005
+    policy: str = "fifo"
+    instances: int = 2
+    slo_seconds: float = 0.05
+    seed: int = 0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+        if self.arrival not in ARRIVALS:
+            raise ValueError(
+                f"unknown arrival model {self.arrival!r}; "
+                f"choose from {sorted(ARRIVALS)}"
+            )
+        if self.qps <= 0:
+            raise ValueError(f"qps must be positive, got {self.qps}")
+        if self.duration_seconds <= 0:
+            raise ValueError("duration must be positive")
+        if self.num_tenants < 1:
+            raise ValueError("need at least one tenant")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_wait_seconds < 0:
+            raise ValueError("max_wait_seconds must be non-negative")
+        if self.policy not in POLICIES:
+            raise ValueError(f"policy must be one of {POLICIES}")
+        if self.instances < 1:
+            raise ValueError("need at least one instance")
+        if self.slo_seconds <= 0:
+            raise ValueError("SLO must be positive")
+
+    @property
+    def display_label(self) -> str:
+        return self.label or self.auto_label()
+
+    def auto_label(self) -> str:
+        """Readable name derived from the discriminating knobs."""
+        parts = [self.arrival, f"q{self.qps:g}", f"b{self.max_batch}",
+                 f"i{self.instances}"]
+        if self.policy != "fifo":
+            parts.append(self.policy)
+        if self.num_tenants != 2:
+            parts.append(f"t{self.num_tenants}")
+        parts.append(f"s{self.seed}")
+        return "-".join(parts)
+
+    def describe(self) -> dict[str, Any]:
+        """Plain-dict form (what serving records and exports carry)."""
+        out = {f.name: getattr(self, f.name) for f in fields(self) if f.name != "label"}
+        out["label"] = self.display_label
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ServingScenario":
+        names = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in dict(data).items() if k in names})
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+    def tenant_mix(self) -> TenantMix:
+        return TenantMix.uniform(self.num_tenants)
+
+    def build_arrivals(self):
+        """The scenario's arrival process.
+
+        The diurnal "day" is compressed to the admission window so every
+        simulation sees one full peak-and-trough cycle (and the window's
+        time-average rate equals the nominal QPS) regardless of duration.
+        """
+        extra = (
+            {"period_seconds": self.duration_seconds}
+            if self.arrival == "diurnal"
+            else {}
+        )
+        return make_arrivals(
+            self.arrival,
+            self.qps,
+            mix=self.tenant_mix(),
+            seed=self.seed,
+            **extra,
+        )
+
+    def build_scheduler(self) -> BatchingScheduler:
+        return BatchingScheduler(
+            max_batch=self.max_batch,
+            max_wait_seconds=self.max_wait_seconds,
+            policy=self.policy,
+        )
+
+    def build_engine(self, service: ServiceModel) -> ServingEngine:
+        return ServingEngine(
+            scheduler=self.build_scheduler(),
+            service=service,
+            instances=self.instances,
+            slo_seconds=self.slo_seconds,
+        )
+
+
+def serving_key(scenario: ServingScenario) -> str:
+    """Content hash of everything that determines a serving outcome."""
+    payload = scenario.describe()
+    del payload["label"]  # presentation, not content
+    payload["schema"] = SERVE_SCHEMA_VERSION
+    payload["kind"] = "serving"
+    return stable_digest(payload)
+
+
+@dataclass(frozen=True)
+class ServingRecord:
+    """Flat, JSON-serializable outcome of one serving scenario."""
+
+    label: str
+    key: str
+    scenario: dict[str, Any]
+    offered: int
+    completed: int
+    throughput_qps: float
+    utilization: float
+    mean_latency_seconds: float
+    p50_latency_seconds: float
+    p95_latency_seconds: float
+    p99_latency_seconds: float
+    max_latency_seconds: float
+    slo_violation_rate: float
+    mean_queue_depth: float
+    peak_queue_depth: int
+    mean_batch_size: float
+    eval_seconds: float
+    cached: bool = False
+
+    def metrics(self) -> dict[str, float]:
+        """The measured outcome alone — invariant under caching/timing."""
+        return {
+            "offered": self.offered,
+            "completed": self.completed,
+            "throughput_qps": self.throughput_qps,
+            "utilization": self.utilization,
+            "mean_latency_seconds": self.mean_latency_seconds,
+            "p50_latency_seconds": self.p50_latency_seconds,
+            "p95_latency_seconds": self.p95_latency_seconds,
+            "p99_latency_seconds": self.p99_latency_seconds,
+            "max_latency_seconds": self.max_latency_seconds,
+            "slo_violation_rate": self.slo_violation_rate,
+            "mean_queue_depth": self.mean_queue_depth,
+            "peak_queue_depth": self.peak_queue_depth,
+            "mean_batch_size": self.mean_batch_size,
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        from dataclasses import asdict
+
+        return asdict(self)
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, Any], cached: bool = False
+    ) -> "ServingRecord":
+        payload = {
+            k: v for k, v in dict(data).items() if k in cls.__dataclass_fields__
+        }
+        payload["cached"] = cached
+        return cls(**payload)
+
+    @classmethod
+    def from_report(
+        cls,
+        scenario: ServingScenario,
+        report: ServingReport,
+        key: str,
+        eval_seconds: float,
+    ) -> "ServingRecord":
+        return cls(
+            label=scenario.display_label,
+            key=key,
+            scenario=scenario.describe(),
+            offered=report.offered,
+            completed=report.completed,
+            throughput_qps=report.throughput_qps,
+            utilization=report.utilization,
+            mean_latency_seconds=report.latency.mean,
+            p50_latency_seconds=report.latency.p50,
+            p95_latency_seconds=report.latency.p95,
+            p99_latency_seconds=report.latency.p99,
+            max_latency_seconds=report.latency.max,
+            slo_violation_rate=report.slo_violation_rate,
+            mean_queue_depth=report.mean_queue_depth,
+            peak_queue_depth=report.peak_queue_depth,
+            mean_batch_size=report.mean_batch_size,
+            eval_seconds=eval_seconds,
+        )
+
+
+#: In-process calibration cache: the accelerator service model evaluates
+#: once per (dataset, scale, seed) and every scenario sharing that
+#: workload reuses the calibrated pipeline numbers.
+_SERVICE_CACHE: dict[tuple[str, float, int], AcceleratorServiceModel] = {}
+
+
+def _service_for(scenario: ServingScenario) -> AcceleratorServiceModel:
+    cache_key = (scenario.dataset, scenario.scale, scenario.seed)
+    model = _SERVICE_CACHE.get(cache_key)
+    if model is None:
+        model = AcceleratorServiceModel(
+            dataset=scenario.dataset, scale=scenario.scale, seed=scenario.seed
+        )
+        _SERVICE_CACHE[cache_key] = model
+    return model
+
+
+def simulate_serving_scenario(
+    scenario: ServingScenario, service: ServiceModel | None = None
+) -> ServingReport:
+    """Run one scenario through the engine and return the full report."""
+    service = service if service is not None else _service_for(scenario)
+    arrivals = scenario.build_arrivals()
+    engine = scenario.build_engine(service)
+    return engine.run(
+        requests=arrivals.generate(scenario.duration_seconds),
+        horizon_seconds=scenario.duration_seconds,
+    )
+
+
+def run_serving_scenario(
+    scenario: ServingScenario,
+    service: ServiceModel | None = None,
+    store: ResultStore | None = None,
+    key: str | None = None,
+) -> ServingRecord:
+    """Evaluate one serving scenario, consulting/feeding the result store.
+
+    A custom ``service`` model bypasses the store entirely — the cache key
+    only describes the scenario, not an arbitrary injected model.
+    """
+    key = key if key is not None else serving_key(scenario)
+    if store is not None and service is None:
+        stored = store.get(key)
+        if stored is not None:
+            return ServingRecord.from_dict(stored, cached=True)
+    start = time.perf_counter()
+    report = simulate_serving_scenario(scenario, service=service)
+    record = ServingRecord.from_report(
+        scenario, report, key, eval_seconds=time.perf_counter() - start
+    )
+    if store is not None and service is None:
+        store.put(key, record.to_dict())
+    return record
+
+
+def scenario_with(scenario: ServingScenario, **overrides: Any) -> ServingScenario:
+    """``dataclasses.replace`` with the label re-derived from the knobs."""
+    changed = replace(scenario, **overrides, label="")
+    return replace(changed, label=changed.auto_label())

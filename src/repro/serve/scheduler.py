@@ -1,0 +1,167 @@
+"""Batching scheduler: pack queued requests into dispatchable batches.
+
+The scheduler owns the admission queue between the arrival stream and the
+replica pool.  A batch becomes *ready* when either the queue holds a full
+``max_batch`` or the oldest queued request has waited ``max_wait_seconds``
+(the classic size-or-deadline rule serving systems use to trade latency
+for throughput).  Two batch-composition policies:
+
+* ``fifo`` — strict global arrival order, tenant-blind.
+* ``wfq`` — weighted fair queueing across tenants: per-tenant FIFO queues
+  drained by stride scheduling (each tenant advances a virtual time by
+  ``1 / weight`` per dispatched request; the lowest virtual time goes
+  next), so a heavy tenant cannot starve light ones while full batches
+  still form.
+
+The scheduler is pure data structure — no clock of its own.  The serving
+engine tells it the current time; given the same enqueue/pop sequence it
+is fully deterministic (ties break on tenant name).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.serve.arrivals import Request
+
+#: Batch-composition policies.
+POLICIES = ("fifo", "wfq")
+
+
+@dataclass(frozen=True)
+class Batch:
+    """One dispatchable unit of work: requests served together."""
+
+    requests: tuple[Request, ...]
+    formed_time: float
+
+    def __post_init__(self) -> None:
+        if not self.requests:
+            raise ValueError("a batch needs at least one request")
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+    @property
+    def graph_sizes(self) -> tuple[int, ...]:
+        return tuple(r.graph_size for r in self.requests)
+
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        return tuple(sorted({r.tenant for r in self.requests}))
+
+
+class BatchingScheduler:
+    """Size-or-deadline batching with FIFO or weighted-fair composition."""
+
+    def __init__(
+        self,
+        max_batch: int = 8,
+        max_wait_seconds: float = 0.005,
+        policy: str = "fifo",
+        tenant_weights: Mapping[str, float] | None = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_seconds < 0:
+            raise ValueError("max_wait_seconds must be non-negative")
+        if policy not in POLICIES:
+            raise ValueError(f"policy must be one of {POLICIES}, got {policy!r}")
+        if tenant_weights is not None and any(
+            w <= 0 for w in tenant_weights.values()
+        ):
+            raise ValueError("tenant weights must be positive")
+        self.max_batch = max_batch
+        self.max_wait_seconds = max_wait_seconds
+        self.policy = policy
+        self.tenant_weights = dict(tenant_weights or {})
+        self._fifo: deque[Request] = deque()
+        self._queues: dict[str, deque[Request]] = {}
+        self._vtime: dict[str, float] = {}
+        self._vclock = 0.0  # wfq: virtual time service has progressed to
+        self._depth = 0
+
+    # ------------------------------------------------------------------
+    # Queue state
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return self._depth
+
+    def oldest_arrival(self) -> float | None:
+        """Arrival time of the longest-waiting request (None when empty)."""
+        if self._depth == 0:
+            return None
+        if self.policy == "fifo":
+            return self._fifo[0].arrival_time
+        return min(q[0].arrival_time for q in self._queues.values() if q)
+
+    def enqueue(self, request: Request) -> None:
+        """Admit one request (the engine calls this in arrival order)."""
+        if self.policy == "fifo":
+            self._fifo.append(request)
+        else:
+            queue = self._queues.get(request.tenant)
+            if queue is None:
+                queue = self._queues[request.tenant] = deque()
+            if not queue:
+                self._activate(request.tenant)
+            queue.append(request)
+        self._depth += 1
+
+    def ready(self, now: float) -> bool:
+        """Whether a batch should be dispatched at time ``now``."""
+        if self._depth == 0:
+            return False
+        if self._depth >= self.max_batch:
+            return True
+        oldest = self.oldest_arrival()
+        assert oldest is not None
+        # The engine schedules the deadline event at ``arrival + max_wait``;
+        # the epsilon absorbs the float rounding of ``now - arrival`` so a
+        # fired deadline always finds its queue head ready (liveness).
+        return now - oldest >= self.max_wait_seconds - 1e-9
+
+    # ------------------------------------------------------------------
+    # Batch composition
+    # ------------------------------------------------------------------
+    def pop_batch(self, now: float) -> Batch:
+        """Form and remove the next batch (up to ``max_batch`` requests)."""
+        if self._depth == 0:
+            raise ValueError("cannot pop a batch from an empty queue")
+        take = min(self.max_batch, self._depth)
+        if self.policy == "fifo":
+            chosen = [self._fifo.popleft() for _ in range(take)]
+        else:
+            chosen = [self._pop_fair() for _ in range(take)]
+        self._depth -= take
+        return Batch(requests=tuple(chosen), formed_time=now)
+
+    def _weight(self, tenant: str) -> float:
+        return self.tenant_weights.get(tenant, 1.0)
+
+    def _activate(self, tenant: str) -> None:
+        """(Re)admit a tenant to the stride race at the current progress.
+
+        Joining at the virtual clock means neither banked credit (an idle
+        tenant returning with an ancient small virtual time and
+        monopolizing batches) nor banked debt (a tenant that was served
+        while alone being starved once competitors show up): service is
+        fair from the moment of (re)activation onward.
+        """
+        self._vtime[tenant] = max(
+            self._vtime.get(tenant, self._vclock), self._vclock
+        )
+
+    def _pop_fair(self) -> Request:
+        """Stride scheduling: serve the lowest virtual time, tie on name."""
+        tenant = min(
+            (t for t, q in self._queues.items() if q),
+            key=lambda t: (self._vtime[t], t),
+        )
+        self._vtime[tenant] += 1.0 / self._weight(tenant)
+        self._vclock = self._vtime[tenant]
+        return self._queues[tenant].popleft()

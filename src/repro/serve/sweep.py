@@ -1,0 +1,153 @@
+"""Serving campaigns: sweep scheduler/fleet knobs through the spec engine.
+
+The generic :class:`~repro.campaign.spec.CampaignSpec` enumerates the
+cross-product (its axes are validated against the base scenario's own
+dataclass fields, so ``qps``/``max_batch``/``instances`` are legal axes
+when the base is a :class:`~repro.serve.scenario.ServingScenario`);
+:func:`run_serving_campaign` pushes every point through the same
+cache-first fan-out core as architecture sweeps
+(:func:`repro.campaign.executor.run_cached_scenarios`) and returns an
+ordered, exportable result.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.campaign.executor import run_cached_scenarios
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import ResultStore
+from repro.serve.scenario import (
+    ServingRecord,
+    ServingScenario,
+    run_serving_scenario,
+    serving_key,
+)
+
+ProgressFn = Callable[[str], None]
+
+
+@dataclass
+class ServingCampaignResult:
+    """Everything one serving campaign produced, in scenario order."""
+
+    name: str
+    records: list[ServingRecord]
+    hits: int = 0
+    misses: int = 0
+    elapsed_seconds: float = 0.0
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def to_json(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "campaign": self.name,
+            "kind": "serving",
+            "num_scenarios": len(self.records),
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+            "elapsed_seconds": self.elapsed_seconds,
+            "records": [r.to_dict() for r in self.records],
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        return path
+
+    def to_csv(self, path: str | Path) -> Path:
+        """One flat row per scenario (knobs + serving metrics)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        rows = []
+        for record in self.records:
+            row: dict[str, Any] = {"label": record.label, "key": record.key}
+            for name, value in record.scenario.items():
+                if name != "label":
+                    row[name] = value
+            row.update(record.metrics())
+            row["cached"] = record.cached
+            rows.append(row)
+        columns: list[str] = []
+        for row in rows:
+            for name in row:
+                if name not in columns:
+                    columns.append(name)
+        with path.open("w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=columns)
+            writer.writeheader()
+            writer.writerows(rows)
+        return path
+
+    def table(self):
+        """Summary table of the load/latency/SLO outcome per scenario."""
+        from repro.experiments.common import ExperimentTable
+
+        t = ExperimentTable(
+            title=f"serving campaign '{self.name}'",
+            columns=[
+                "scenario", "served", "p50 ms", "p99 ms", "util", "viol%", "batch",
+            ],
+        )
+        for r in self.records:
+            t.add_row(
+                r.label,
+                r.throughput_qps,
+                r.p50_latency_seconds * 1e3,
+                r.p99_latency_seconds * 1e3,
+                r.utilization,
+                r.slo_violation_rate * 100.0,
+                r.mean_batch_size,
+            )
+        return t
+
+
+def _serving_leaf(scenario: ServingScenario, key: str) -> ServingRecord:
+    """Serving leaf with the ``(scenario, key)`` funnel signature.
+
+    Store reads/writes happen in the funnel's parent process, never here.
+    """
+    return run_serving_scenario(scenario, key=key)
+
+
+def run_serving_campaign(
+    spec: CampaignSpec,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+    progress: ProgressFn | None = None,
+) -> ServingCampaignResult:
+    """Evaluate a serving campaign: cached points first, misses fanned out.
+
+    Results come back in scenario order regardless of completion order,
+    so serial and parallel runs are bit-identical.
+    """
+    scenarios = spec.scenarios()
+    if scenarios and not isinstance(scenarios[0], ServingScenario):
+        raise TypeError(
+            "run_serving_campaign needs a CampaignSpec over ServingScenario; "
+            "use repro.campaign.executor.run_campaign for architecture sweeps"
+        )
+    started = time.perf_counter()
+    keys = [serving_key(s) for s in scenarios]
+    records, hits, misses = run_cached_scenarios(
+        scenarios,
+        keys,
+        _serving_leaf,
+        ServingRecord,
+        jobs=jobs,
+        store=store,
+        progress=progress,
+    )
+    return ServingCampaignResult(
+        name=spec.name,
+        records=records,
+        hits=hits,
+        misses=misses,
+        elapsed_seconds=time.perf_counter() - started,
+    )

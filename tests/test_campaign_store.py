@@ -1,5 +1,7 @@
 """Tests for content-addressed scenario keys and the result store."""
 
+import os
+
 import pytest
 
 from repro.campaign.spec import Scenario
@@ -108,3 +110,54 @@ class TestResultStore:
         assert len(store) == 0
         assert store.keys() == []
         assert store.clear() == 0
+
+
+class TestPruneAndSize:
+    @staticmethod
+    def fill(store, n):
+        keys = [f"{i:02d}" + "a" * 62 for i in range(n)]
+        for i, key in enumerate(keys):
+            path = store.put(key, {"i": i})
+            # Deterministic mtimes: key i is the i-th oldest.
+            os.utime(path, (1_000_000 + i, 1_000_000 + i))
+        return keys
+
+    def test_size_report_counts_entries_and_bytes(self, tmp_path):
+        store = ResultStore(tmp_path)
+        self.fill(store, 4)
+        report = store.size_report()
+        assert report["entries"] == 4
+        assert report["total_bytes"] > 0
+
+    def test_size_report_empty(self, tmp_path):
+        report = ResultStore(tmp_path / "nowhere").size_report()
+        assert report == {"entries": 0, "total_bytes": 0}
+
+    def test_prune_evicts_oldest_first(self, tmp_path):
+        store = ResultStore(tmp_path)
+        keys = self.fill(store, 5)
+        assert store.prune(2) == 3
+        assert store.get(keys[0]) is None
+        assert store.get(keys[2]) is None
+        assert store.get(keys[3]) == {"i": 3}
+        assert store.get(keys[4]) == {"i": 4}
+        assert len(store) == 2
+
+    def test_prune_noop_when_under_budget(self, tmp_path):
+        store = ResultStore(tmp_path)
+        self.fill(store, 3)
+        assert store.prune(10) == 0
+        assert len(store) == 3
+
+    def test_prune_zero_clears_everything(self, tmp_path):
+        store = ResultStore(tmp_path)
+        self.fill(store, 3)
+        assert store.prune(0) == 3
+        assert len(store) == 0
+
+    def test_prune_empty_store(self, tmp_path):
+        assert ResultStore(tmp_path / "nowhere").prune(5) == 0
+
+    def test_prune_negative_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_entries"):
+            ResultStore(tmp_path).prune(-1)

@@ -41,6 +41,54 @@ class TestCLI:
         assert "per-tier temp" in out
         assert "feasible" in out
 
+    def test_thermal_knobs(self, capsys):
+        main(["thermal", "--tiers", "4", "--ambient", "30",
+              "--layer-resistance", "0.1"])
+        out = capsys.readouterr().out
+        # Four tiers reported, and the milder thermals keep the stack cool.
+        line = next(l for l in out.splitlines() if "per-tier temp" in l)
+        assert line.count(",") == 3
+        assert "feasible" in out
+
+    def test_thermal_tiers_change_the_outcome(self, capsys):
+        main(["thermal"])
+        base = capsys.readouterr().out
+        main(["thermal", "--tiers", "5"])
+        tall = capsys.readouterr().out
+        assert base != tall
+
+    def test_sweep_prune(self, capsys, tmp_path):
+        from repro.campaign.store import ResultStore
+
+        store = ResultStore(tmp_path)
+        for i in range(3):
+            store.put(f"{i:02d}" + "b" * 62, {"i": i})
+        main(["sweep", "--cache", str(tmp_path), "--prune", "1"])
+        out = capsys.readouterr().out
+        assert "pruned 2 of 3" in out
+        assert len(store) == 1
+
+    def test_serve_parser(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve", "--preset", "serving", "--qps", "100", "--instances", "2"]
+        )
+        assert args.command == "serve"
+        assert args.qps == 100.0
+        assert args.instances == 2
+
+    def test_serve_campaign_rejects_plan_capacity(self):
+        with pytest.raises(SystemExit, match="single-point"):
+            main(["serve", "--preset", "serving", "--campaign",
+                  "--plan-capacity"])
+
+    def test_serve_list_presets(self, capsys):
+        main(["serve", "--list-presets"])
+        out = capsys.readouterr().out
+        assert "serving" in out
+        assert "arrivals" in out
+        assert "policies" in out
+
     def test_unknown_dataset_rejected(self):
         with pytest.raises(SystemExit):
             main(["evaluate", "cora"])

@@ -1,5 +1,6 @@
 """Unit tests for NoC characterization utilities."""
 
+import numpy as np
 import pytest
 
 from repro.noc.analysis import (
@@ -9,6 +10,7 @@ from repro.noc.analysis import (
     saturation_rate,
 )
 from repro.noc.schedule import NoCConfig
+from repro.noc.stats import percentile, summarize_latencies
 from repro.noc.topology import Mesh2D, Mesh3D
 
 
@@ -104,3 +106,67 @@ class TestHopCount:
     def test_empty_pairs_rejected(self):
         with pytest.raises(ValueError):
             average_hop_count(Mesh3D(2, 2, 2), [])
+
+
+class TestPercentile:
+    def test_matches_numpy_linear_interpolation(self):
+        values = [5.0, 1.0, 9.0, 3.0, 7.0, 2.0, 8.0]
+        for q in (0, 10, 25, 50, 75, 90, 95, 99, 100):
+            assert percentile(values, q) == pytest.approx(
+                float(np.percentile(values, q))
+            )
+
+    def test_single_value(self):
+        assert percentile([42.0], 99) == 42.0
+
+    def test_endpoints(self):
+        values = [3.0, 1.0, 2.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="percentile"):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError, match="no values"):
+            percentile([], 50)
+
+
+class TestSummarizeLatencies:
+    def test_summary_fields(self):
+        values = list(range(1, 101))
+        summary = summarize_latencies(values)
+        assert summary.count == 100
+        assert summary.mean == pytest.approx(50.5)
+        assert summary.p50 <= summary.p95 <= summary.p99 <= summary.max
+        assert summary.max == 100.0
+        assert summary.p99 == pytest.approx(float(np.percentile(values, 99)))
+
+    def test_empty_population_is_all_zero(self):
+        summary = summarize_latencies([])
+        assert summary.count == 0
+        assert summary.mean == summary.p50 == summary.p99 == summary.max == 0.0
+
+    def test_as_dict(self):
+        assert summarize_latencies([2.0]).as_dict()["p95"] == 2.0
+
+
+class TestSweepTailLatencies:
+    def test_sweep_points_carry_percentiles(self):
+        topo = Mesh3D(3, 3, 2)
+        points = latency_throughput_sweep(
+            topo, rates=[0.5], window_cycles=400, seed=0
+        )
+        point = points[0]
+        assert point.p50_latency_cycles > 0
+        assert point.p50_latency_cycles <= point.p95_latency_cycles
+        assert point.p95_latency_cycles <= point.p99_latency_cycles
+        # The mean sits inside the distribution's support.
+        assert point.p50_latency_cycles <= point.average_latency_cycles * 2
+
+    def test_event_backend_reports_identical_tails(self):
+        topo = Mesh3D(3, 3, 2)
+        kwargs = dict(rates=[1.0], window_cycles=300, seed=1)
+        static = latency_throughput_sweep(topo, backend="static", **kwargs)
+        event = latency_throughput_sweep(topo, backend="event", **kwargs)
+        assert static[0].p99_latency_cycles > 0
+        assert event[0].p99_latency_cycles > 0

@@ -1,0 +1,224 @@
+"""Tests for the serving engine's arrival processes.
+
+Covers the ISSUE-mandated properties: seeded determinism, empirical rate
+matching the nominal rate within tolerance, and trace replay
+round-tripping through CSV export.
+"""
+
+import pytest
+
+from repro.serve.arrivals import (
+    ARRIVALS,
+    ClosedLoopPool,
+    DiurnalArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+    Request,
+    TenantMix,
+    TraceArrivals,
+    empirical_qps,
+    load_trace,
+    make_arrivals,
+    save_trace,
+)
+
+
+class TestRequest:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="tenant"):
+            Request(tenant="", graph_size=10, arrival_time=0.0)
+        with pytest.raises(ValueError, match="graph_size"):
+            Request(tenant="t", graph_size=0, arrival_time=0.0)
+        with pytest.raises(ValueError, match="arrival_time"):
+            Request(tenant="t", graph_size=10, arrival_time=-1.0)
+
+
+class TestTenantMix:
+    def test_uniform_names_and_weights(self):
+        mix = TenantMix.uniform(3)
+        assert mix.tenant_names == ("tenant-0", "tenant-1", "tenant-2")
+        assert all(w == 1.0 for w in mix.weights.values())
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one tenant"):
+            TenantMix(tenants=())
+        with pytest.raises(ValueError, match="duplicate"):
+            TenantMix(tenants=(("a", 1.0), ("a", 2.0)))
+        with pytest.raises(ValueError, match="positive"):
+            TenantMix(tenants=(("a", 0.0),))
+        with pytest.raises(ValueError, match="graph sizes"):
+            TenantMix(graph_sizes=())
+        with pytest.raises(ValueError, match="size_weights"):
+            TenantMix(graph_sizes=(10, 20), size_weights=(1.0,))
+
+    def test_draws_come_from_the_alphabet(self):
+        from repro.utils.rng import rng_from_seed
+
+        mix = TenantMix.uniform(2, graph_sizes=(64, 256))
+        rng = rng_from_seed(0)
+        for _ in range(50):
+            tenant, size = mix.draw(rng)
+            assert tenant in mix.tenant_names
+            assert size in (64, 256)
+
+
+class TestSeededDeterminism:
+    @pytest.mark.parametrize("kind", sorted(ARRIVALS))
+    def test_same_seed_same_stream(self, kind):
+        a = make_arrivals(kind, 150.0, seed=7).generate(5.0)
+        b = make_arrivals(kind, 150.0, seed=7).generate(5.0)
+        assert a == b
+        assert len(a) > 0
+
+    @pytest.mark.parametrize("kind", sorted(ARRIVALS))
+    def test_different_seed_different_stream(self, kind):
+        a = make_arrivals(kind, 150.0, seed=1).generate(5.0)
+        b = make_arrivals(kind, 150.0, seed=2).generate(5.0)
+        assert a != b
+
+    def test_streams_are_time_ordered_with_sequential_ids(self):
+        requests = PoissonArrivals(100.0, seed=3).generate(4.0)
+        times = [r.arrival_time for r in requests]
+        assert times == sorted(times)
+        assert [r.request_id for r in requests] == list(range(len(requests)))
+        assert all(t < 4.0 for t in times)
+
+
+class TestEmpiricalRates:
+    def test_poisson_rate_matches_nominal(self):
+        rate = 200.0
+        requests = PoissonArrivals(rate, seed=0).generate(30.0)
+        assert empirical_qps(requests, 30.0) == pytest.approx(rate, rel=0.10)
+
+    def test_mmpp_time_average_matches_nominal(self):
+        # Burst/quiet cycles are ~1.25 s; average over many cycles.
+        rate = 200.0
+        requests = MMPPArrivals(rate, seed=0).generate(120.0)
+        assert empirical_qps(requests, 120.0) == pytest.approx(rate, rel=0.15)
+
+    def test_mmpp_is_burstier_than_poisson(self):
+        import numpy as np
+
+        def cov_of_counts(requests, horizon, bins=200):
+            counts, _ = np.histogram(
+                [r.arrival_time for r in requests], bins=bins, range=(0, horizon)
+            )
+            return counts.std() / counts.mean()
+
+        horizon = 60.0
+        poisson = PoissonArrivals(200.0, seed=0).generate(horizon)
+        mmpp = MMPPArrivals(200.0, seed=0, burst_ratio=16.0).generate(horizon)
+        assert cov_of_counts(mmpp, horizon) > 1.5 * cov_of_counts(poisson, horizon)
+
+    def test_diurnal_rate_matches_nominal_over_whole_periods(self):
+        # The sine modulation integrates to zero over whole periods only.
+        rate = 200.0
+        process = DiurnalArrivals(rate, seed=0, period_seconds=5.0, amplitude=0.8)
+        requests = process.generate(20.0)
+        assert empirical_qps(requests, 20.0) == pytest.approx(rate, rel=0.10)
+
+    def test_diurnal_peak_vs_trough(self):
+        process = DiurnalArrivals(
+            200.0, seed=1, period_seconds=10.0, amplitude=0.9
+        )
+        requests = process.generate(10.0)
+        # First half-period is the peak of the sine, second the trough.
+        peak = sum(1 for r in requests if r.arrival_time < 5.0)
+        trough = len(requests) - peak
+        assert peak > 2 * trough
+
+    def test_empirical_qps_empty(self):
+        assert empirical_qps([]) == 0.0
+
+
+class TestTraceReplay:
+    def test_csv_round_trip(self, tmp_path):
+        original = MMPPArrivals(120.0, mix=TenantMix.uniform(3), seed=5).generate(3.0)
+        path = save_trace(original, tmp_path / "trace.csv")
+        replay = load_trace(path)
+        assert list(replay.requests) == original
+        assert replay.generate(3.0) == original
+
+    def test_generate_clips_to_horizon(self):
+        requests = [
+            Request(tenant="t", graph_size=10, arrival_time=float(i), request_id=i)
+            for i in range(5)
+        ]
+        trace = TraceArrivals(requests)
+        assert [r.arrival_time for r in trace.generate(2.5)] == [0.0, 1.0, 2.0]
+
+    def test_trace_orders_by_time(self):
+        requests = [
+            Request(tenant="t", graph_size=10, arrival_time=2.0, request_id=0),
+            Request(tenant="t", graph_size=10, arrival_time=1.0, request_id=1),
+        ]
+        trace = TraceArrivals(requests)
+        assert [r.request_id for r in trace.requests] == [1, 0]
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError, match="at least one request"):
+            TraceArrivals([])
+
+
+class TestClosedLoopPool:
+    def test_initial_requests_one_per_client(self):
+        pool = ClosedLoopPool(num_clients=5, think_seconds=0.1, seed=0)
+        initial = pool.initial_requests()
+        assert len(initial) == 5
+        assert [r.request_id for r in initial] == list(range(5))
+
+    def test_next_request_after_completion(self):
+        pool = ClosedLoopPool(num_clients=1, think_seconds=0.05, seed=0)
+        pool.initial_requests()
+        follow_up = pool.next_request(completion_time=2.0)
+        assert follow_up.arrival_time >= 2.0
+        assert follow_up.request_id == 1
+
+    def test_zero_think_time(self):
+        pool = ClosedLoopPool(num_clients=2, think_seconds=0.0, seed=0)
+        assert all(r.arrival_time == 0.0 for r in pool.initial_requests())
+        assert pool.next_request(1.5).arrival_time == 1.5
+
+    def test_deterministic(self):
+        a = ClosedLoopPool(num_clients=3, think_seconds=0.1, seed=4)
+        b = ClosedLoopPool(num_clients=3, think_seconds=0.1, seed=4)
+        assert a.initial_requests() == b.initial_requests()
+        assert a.next_request(1.0) == b.next_request(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="client"):
+            ClosedLoopPool(num_clients=0)
+        with pytest.raises(ValueError, match="[Tt]hink"):
+            ClosedLoopPool(think_seconds=-1.0)
+
+
+class TestValidation:
+    def test_unknown_arrival_model(self):
+        with pytest.raises(ValueError, match="unknown arrival model"):
+            make_arrivals("uniform", 100.0)
+
+    def test_make_arrivals_forwards_model_kwargs(self):
+        process = make_arrivals("mmpp", 100.0, burst_ratio=4.0)
+        assert process.burst_ratio == 4.0
+        diurnal = make_arrivals("diurnal", 100.0, period_seconds=3.0)
+        assert diurnal.period_seconds == 3.0
+
+    def test_bad_rate(self):
+        with pytest.raises(ValueError, match="rate"):
+            PoissonArrivals(0.0)
+
+    def test_bad_horizon(self):
+        with pytest.raises(ValueError, match="horizon"):
+            PoissonArrivals(10.0).generate(0.0)
+
+    def test_mmpp_parameters(self):
+        with pytest.raises(ValueError, match="burst_ratio"):
+            MMPPArrivals(10.0, burst_ratio=0.5)
+        with pytest.raises(ValueError, match="sojourn"):
+            MMPPArrivals(10.0, mean_quiet_seconds=0.0)
+
+    def test_diurnal_parameters(self):
+        with pytest.raises(ValueError, match="amplitude"):
+            DiurnalArrivals(10.0, amplitude=1.5)
+        with pytest.raises(ValueError, match="period"):
+            DiurnalArrivals(10.0, period_seconds=0.0)

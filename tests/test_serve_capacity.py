@@ -1,0 +1,101 @@
+"""Tests for capacity planning: minimal fleet meeting the SLO."""
+
+import pytest
+
+from repro.serve.capacity import meets_slo, plan_capacity
+from repro.serve.scenario import (
+    ServingScenario,
+    run_serving_scenario,
+    scenario_with,
+)
+from repro.serve.service import LinearServiceModel
+
+#: A constructed workload where capacity genuinely matters: heavy load,
+#: no batching amortization (base cost dominates), and a tight SLO.
+SCENARIO = ServingScenario(
+    qps=300.0,
+    duration_seconds=2.0,
+    max_batch=2,
+    max_wait_seconds=0.001,
+    slo_seconds=0.02,
+    num_tenants=2,
+    seed=0,
+)
+SERVICE = LinearServiceModel(base_seconds=0.006, per_node_seconds=1e-7)
+
+
+class TestPlanCapacity:
+    def test_returns_the_brute_force_minimum(self):
+        plan = plan_capacity(
+            SCENARIO, max_instances=8, max_violation_rate=0.01, service=SERVICE
+        )
+        assert plan.feasible
+        # Independently scan every fleet size: the plan must match the
+        # first one that satisfies the criterion.
+        minimum = None
+        for n in range(1, 9):
+            record = run_serving_scenario(
+                scenario_with(SCENARIO, instances=n), service=SERVICE
+            )
+            if meets_slo(record, 0.01):
+                minimum = n
+                break
+        assert minimum is not None
+        assert plan.instances == minimum
+        assert plan.instances > 1  # the workload genuinely needs a fleet
+
+    def test_violation_rate_monotone_in_instances(self):
+        rates = []
+        for n in (1, 2, 4, 8):
+            record = run_serving_scenario(
+                scenario_with(SCENARIO, instances=n), service=SERVICE
+            )
+            rates.append(record.slo_violation_rate)
+        assert rates == sorted(rates, reverse=True)
+
+    def test_planned_record_meets_the_slo(self):
+        plan = plan_capacity(
+            SCENARIO, max_instances=8, max_violation_rate=0.01, service=SERVICE
+        )
+        assert plan.record is not None
+        assert plan.record.slo_violation_rate <= 0.01
+
+    def test_infeasible_when_slo_below_service_floor(self):
+        # Service alone takes >= 6 ms; a 1 ms SLO can never be met.
+        impossible = scenario_with(SCENARIO, slo_seconds=0.001)
+        plan = plan_capacity(
+            impossible, max_instances=4, max_violation_rate=0.01, service=SERVICE
+        )
+        assert not plan.feasible
+        assert plan.instances is None
+        assert plan.record is None
+        assert "infeasible" in plan.render()
+
+    def test_single_instance_suffices_for_light_load(self):
+        light = scenario_with(
+            SCENARIO, qps=20.0, slo_seconds=0.05, max_wait_seconds=0.0
+        )
+        plan = plan_capacity(
+            light, max_instances=8, max_violation_rate=0.01, service=SERVICE
+        )
+        assert plan.instances == 1
+
+    def test_render_marks_the_minimum(self):
+        plan = plan_capacity(
+            SCENARIO, max_instances=8, max_violation_rate=0.01, service=SERVICE
+        )
+        assert "<-- minimum" in plan.render()
+
+    def test_deterministic(self):
+        a = plan_capacity(SCENARIO, max_instances=8, service=SERVICE)
+        b = plan_capacity(SCENARIO, max_instances=8, service=SERVICE)
+        assert a.instances == b.instances
+        assert {n: r.metrics() for n, r in a.evaluated.items()} == {
+            n: r.metrics() for n, r in b.evaluated.items()
+        }
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_instances"):
+            plan_capacity(SCENARIO, max_instances=0, service=SERVICE)
+        with pytest.raises(ValueError, match="max_violation_rate"):
+            plan_capacity(SCENARIO, max_violation_rate=1.5, service=SERVICE)

@@ -1,0 +1,148 @@
+"""Tests for the batching scheduler: batch formation rules and policies."""
+
+import pytest
+
+from repro.serve.arrivals import Request
+from repro.serve.scheduler import Batch, BatchingScheduler
+
+
+def req(i, tenant="t0", size=100, at=0.0):
+    return Request(tenant=tenant, graph_size=size, arrival_time=at, request_id=i)
+
+
+class TestBatch:
+    def test_properties(self):
+        batch = Batch(
+            requests=(req(0, "a", 10), req(1, "b", 20), req(2, "a", 30)),
+            formed_time=1.0,
+        )
+        assert batch.size == 3
+        assert batch.graph_sizes == (10, 20, 30)
+        assert batch.tenants == ("a", "b")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one request"):
+            Batch(requests=(), formed_time=0.0)
+
+
+class TestFIFO:
+    def test_pop_preserves_arrival_order(self):
+        s = BatchingScheduler(max_batch=4, max_wait_seconds=0.01)
+        for i in range(10):
+            s.enqueue(req(i, at=i * 0.001))
+        batch = s.pop_batch(now=0.02)
+        assert [r.request_id for r in batch.requests] == [0, 1, 2, 3]
+        assert s.queue_depth == 6
+
+    def test_ready_on_full_batch(self):
+        s = BatchingScheduler(max_batch=2, max_wait_seconds=1.0)
+        s.enqueue(req(0, at=0.0))
+        assert not s.ready(0.0)
+        s.enqueue(req(1, at=0.0))
+        assert s.ready(0.0)
+
+    def test_ready_on_deadline(self):
+        s = BatchingScheduler(max_batch=100, max_wait_seconds=0.005)
+        s.enqueue(req(0, at=1.0))
+        assert not s.ready(1.004)
+        assert s.ready(1.005)
+
+    def test_zero_wait_is_immediately_ready(self):
+        s = BatchingScheduler(max_batch=100, max_wait_seconds=0.0)
+        s.enqueue(req(0, at=1.0))
+        assert s.ready(1.0)
+
+    def test_oldest_arrival(self):
+        s = BatchingScheduler(max_batch=4)
+        assert s.oldest_arrival() is None
+        s.enqueue(req(0, at=0.5))
+        s.enqueue(req(1, at=0.7))
+        assert s.oldest_arrival() == 0.5
+
+    def test_pop_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            BatchingScheduler().pop_batch(0.0)
+
+
+class TestWeightedFair:
+    def test_equal_weights_interleave(self):
+        s = BatchingScheduler(max_batch=6, policy="wfq")
+        for i in range(3):
+            s.enqueue(req(i, tenant="a", at=0.0))
+        for i in range(3, 6):
+            s.enqueue(req(i, tenant="b", at=0.0))
+        batch = s.pop_batch(0.01)
+        tenants = [r.tenant for r in batch.requests]
+        assert tenants == ["a", "b", "a", "b", "a", "b"]
+
+    def test_weights_split_service_proportionally(self):
+        s = BatchingScheduler(
+            max_batch=8, policy="wfq", tenant_weights={"heavy": 3.0, "light": 1.0}
+        )
+        for i in range(20):
+            s.enqueue(req(i, tenant="heavy", at=0.0))
+        for i in range(20, 40):
+            s.enqueue(req(i, tenant="light", at=0.0))
+        batch = s.pop_batch(0.01)
+        counts = {t: sum(1 for r in batch.requests if r.tenant == t)
+                  for t in ("heavy", "light")}
+        assert counts == {"heavy": 6, "light": 2}
+
+    def test_per_tenant_order_is_fifo(self):
+        s = BatchingScheduler(max_batch=4, policy="wfq")
+        for i in range(4):
+            s.enqueue(req(i, tenant="a", at=i * 0.001))
+        batch = s.pop_batch(0.01)
+        assert [r.request_id for r in batch.requests] == [0, 1, 2, 3]
+
+    def test_returning_tenant_gets_no_banked_credit(self):
+        s = BatchingScheduler(max_batch=4, policy="wfq")
+        # Tenant b alone is served for a while, advancing its virtual time.
+        for i in range(8):
+            s.enqueue(req(i, tenant="b", at=0.0))
+        s.pop_batch(0.0)
+        s.pop_batch(0.0)
+        # Tenant a shows up: it should share, not monopolize the batch.
+        for i in range(8, 12):
+            s.enqueue(req(i, tenant="a", at=0.0))
+        for i in range(12, 16):
+            s.enqueue(req(i, tenant="b", at=0.0))
+        batch = s.pop_batch(0.0)
+        tenants = [r.tenant for r in batch.requests]
+        assert tenants.count("a") == 2
+        assert tenants.count("b") == 2
+
+    def test_oldest_arrival_across_tenant_queues(self):
+        s = BatchingScheduler(max_batch=8, policy="wfq")
+        s.enqueue(req(0, tenant="b", at=0.7))
+        s.enqueue(req(1, tenant="a", at=0.3))
+        assert s.oldest_arrival() == 0.3
+
+    def test_deterministic_tie_break_on_name(self):
+        a = BatchingScheduler(max_batch=4, policy="wfq")
+        b = BatchingScheduler(max_batch=4, policy="wfq")
+        for s in (a, b):
+            s.enqueue(req(0, tenant="z", at=0.0))
+            s.enqueue(req(1, tenant="a", at=0.0))
+            s.enqueue(req(2, tenant="m", at=0.0))
+        assert [r.tenant for r in a.pop_batch(0.0).requests] == [
+            r.tenant for r in b.pop_batch(0.0).requests
+        ] == ["a", "m", "z", "a"][:3]
+
+
+class TestValidation:
+    def test_bad_max_batch(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            BatchingScheduler(max_batch=0)
+
+    def test_bad_wait(self):
+        with pytest.raises(ValueError, match="max_wait"):
+            BatchingScheduler(max_wait_seconds=-0.1)
+
+    def test_bad_policy(self):
+        with pytest.raises(ValueError, match="policy"):
+            BatchingScheduler(policy="lifo")
+
+    def test_bad_weights(self):
+        with pytest.raises(ValueError, match="weights"):
+            BatchingScheduler(policy="wfq", tenant_weights={"a": 0.0})
