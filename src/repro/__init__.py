@@ -4,16 +4,23 @@ Full-stack Python reproduction of *ReGraphX: NoC-enabled 3D Heterogeneous
 ReRAM Architecture for Training Graph Neural Networks* (DATE 2021).
 
 Subpackages:
-    :mod:`repro.core`        -- the architecture: config, mapping, traffic,
-                                pipeline, accelerator, evaluation, thermal, DSE
-    :mod:`repro.graph`       -- graphs, synthetic datasets, partitioning,
-                                Cluster-GCN batching, serialization
-    :mod:`repro.gnn`         -- numpy GCN/GraphSAGE training substrate
-    :mod:`repro.reram`       -- crossbar/IMA/tile models, timing, energy,
-                                sparse block mapping, device variation
-    :mod:`repro.noc`         -- 3D mesh, routing, multicast, schedulers
-    :mod:`repro.baselines`   -- V100 GPU, planar mesh, homogeneous ReRAM
-    :mod:`repro.experiments` -- one driver per paper table/figure
+
+* :mod:`repro.graph` — graphs, synthetic datasets, partitioning,
+  Cluster-GCN batching, serialization
+* :mod:`repro.gnn` — numpy GCN/GraphSAGE training substrate
+* :mod:`repro.reram` — crossbar/IMA/tile models, timing, energy, sparse
+  block mapping, device variation
+* :mod:`repro.noc` — 3D mesh, routing, multicast, schedulers, flit-level
+  simulators
+* :mod:`repro.core` — the architecture: config, mapping, traffic,
+  pipeline, accelerator, evaluation, thermal, DSE
+* :mod:`repro.campaign` — declarative sweeps, parallel execution, the
+  content-addressed result store
+* :mod:`repro.serve` — inference serving: arrivals, admission control,
+  batching, autoscaling, capacity planning
+* :mod:`repro.experiments` — one driver per reported table/figure
+* :mod:`repro.baselines` — V100 GPU, planar mesh, homogeneous ReRAM
+* :mod:`repro.utils` — RNG, hashing, unit formatting
 
 Typical entry point::
 

@@ -1,16 +1,20 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Commands:
-    info                       print the architecture (Table I) and dataset
-                               (Table II) summaries
-    experiments [names...]     regenerate paper tables/figures (default all)
-    evaluate DATASET           evaluate one dataset end to end vs the GPU
-    thermal                    tier-count thermal feasibility study
-    sweep --preset NAME        run a declarative scenario campaign (parallel
-                               with --jobs, cached under .repro_cache/)
-    serve                      simulate multi-tenant inference serving
-                               (single point with per-tenant SLO analytics,
-                               or --campaign for a preset cross-product)
+Commands::
+
+    info                     print the architecture (Table I) and dataset
+                             (Table II) summaries
+    experiments [names...]   regenerate paper tables/figures (default all)
+    evaluate DATASET         evaluate one dataset end to end vs the GPU
+    thermal                  tier-count thermal feasibility study
+    sweep --preset NAME      run a declarative scenario campaign (parallel
+                             with --jobs, cached under .repro_cache/)
+    serve                    simulate multi-tenant inference serving:
+                             single point with per-tenant SLO analytics,
+                             --campaign for a preset cross-product,
+                             --plan-capacity for the minimum static fleet,
+                             --autoscale/--admission to close the loop,
+                             --trace-file to replay a recorded stream
 """
 
 from __future__ import annotations
@@ -177,6 +181,13 @@ def cmd_serve(args: argparse.Namespace) -> None:
         ("policy", "policy"),
         ("instances", "instances"),
         ("seed", "seed"),
+        ("autoscaler", "autoscale"),
+        ("autoscale_target", "autoscale_target"),
+        ("min_instances", "min_instances"),
+        ("admission", "admission"),
+        ("queue_budget", "queue_budget"),
+        ("tenant_quota_qps", "quota_qps"),
+        ("max_instances", "max_instances"),
     ):
         value = getattr(args, arg_name)
         if value is not None:
@@ -185,6 +196,15 @@ def cmd_serve(args: argparse.Namespace) -> None:
         overrides["max_wait_seconds"] = args.max_wait_ms / 1e3
     if args.slo_ms is not None:
         overrides["slo_seconds"] = args.slo_ms / 1e3
+    if args.warmup_ms is not None:
+        overrides["warmup_seconds"] = args.warmup_ms / 1e3
+    if args.tarpit_ms is not None:
+        overrides["tarpit_seconds"] = args.tarpit_ms / 1e3
+    if args.autoscale is not None and args.autoscale != "none" and not args.preset:
+        # Enabling the autoscaler from scratch starts the fleet at the
+        # floor (that is the point of closing the loop); a preset's own
+        # hand-tuned band and initial fleet are left alone.
+        overrides.setdefault("instances", overrides.get("min_instances", 1))
 
     store = None if args.no_cache else ResultStore(args.cache)
     if args.campaign:
@@ -194,9 +214,16 @@ def cmd_serve(args: argparse.Namespace) -> None:
             raise SystemExit(
                 "serve: --plan-capacity is a single-point flag; drop --campaign"
             )
-        spec = get_serving_preset(args.preset)
-        if overrides:
-            spec = replace(spec, base=scenario_with(spec.base, **overrides))
+        if args.trace_file:
+            raise SystemExit(
+                "serve: --trace-file replays one stream; drop --campaign"
+            )
+        try:
+            spec = get_serving_preset(args.preset)
+            if overrides:
+                spec = replace(spec, base=scenario_with(spec.base, **overrides))
+        except ValueError as error:
+            raise SystemExit(f"serve: {error}")
         print(f"serving campaign {spec.summary()}  (jobs={args.jobs})")
         result = run_serving_campaign(
             spec, jobs=args.jobs, store=store, progress=print
@@ -209,25 +236,63 @@ def cmd_serve(args: argparse.Namespace) -> None:
         print(f"wrote {json_path} and {csv_path}")
         return
 
-    base = get_serving_preset(args.preset).base if args.preset else ServingScenario()
-    scenario = scenario_with(base, **overrides) if overrides else base
+    trace = None
+    if args.trace_file:
+        if args.arrival is not None:
+            raise SystemExit(
+                "serve: --trace-file already fixes the arrivals; drop --arrival"
+            )
+        from repro.serve import load_trace
+
+        trace_path = Path(args.trace_file)
+        if not trace_path.is_file():
+            raise SystemExit(f"serve: trace file not found: {trace_path}")
+        try:
+            trace = load_trace(trace_path)
+        except (ValueError, KeyError, TypeError) as error:
+            raise SystemExit(f"serve: cannot parse trace {trace_path}: {error}")
+        overrides["qps"] = trace.rate_qps
+
+    try:
+        base = (
+            get_serving_preset(args.preset).base if args.preset else ServingScenario()
+        )
+        scenario = scenario_with(base, **overrides) if overrides else base
+    except ValueError as error:
+        raise SystemExit(f"serve: {error}")
+    extras = []
+    if scenario.autoscaler != "none":
+        extras.append(
+            f"autoscale {scenario.autoscaler}@{scenario.autoscale_target:g} "
+            f"in [{scenario.min_instances}, {scenario.max_instances}]"
+        )
+    if scenario.admission != "none":
+        extras.append(
+            f"admission {scenario.admission} (queue budget "
+            f"{scenario.queue_budget}, quota {scenario.tenant_quota_qps:g} qps)"
+        )
+    if trace is not None:
+        extras.append(f"trace {args.trace_file} ({len(trace.requests)} requests)")
     print(f"serving scenario {scenario.display_label}: "
           f"{scenario.arrival} arrivals at {scenario.qps:g} qps for "
           f"{scenario.duration_seconds:g}s, {scenario.num_tenants} tenant(s), "
           f"batch<= {scenario.max_batch}, wait<= "
           f"{scenario.max_wait_seconds * 1e3:g}ms, policy {scenario.policy}, "
-          f"{scenario.instances} instance(s)")
+          f"{scenario.instances} instance(s)"
+          + ("".join(f"\n  {line}" for line in extras)))
     import time
 
     start = time.perf_counter()
-    report = simulate_serving_scenario(scenario)
+    report = simulate_serving_scenario(scenario, arrivals=trace)
     elapsed = time.perf_counter() - start
     print(report.render())
     # The single-point path always re-simulates (the detailed per-tenant
     # report is its whole point) but feeds the store for later campaigns;
     # an existing record is left untouched so prune()'s LRU order and the
-    # record's original eval timing survive repeat runs.
-    if store is not None:
+    # record's original eval timing survive repeat runs.  Trace replays
+    # never touch the store — the key describes the scenario, not the
+    # injected stream.
+    if store is not None and trace is None:
         key = serving_key(scenario)
         if key not in store:
             record = ServingRecord.from_report(scenario, report, key, elapsed)
@@ -237,7 +302,7 @@ def cmd_serve(args: argparse.Namespace) -> None:
         from repro.serve import plan_capacity
 
         plan = plan_capacity(
-            scenario, max_instances=args.max_instances, store=store
+            scenario, max_instances=args.max_instances or 32, store=store
         )
         print()
         print(plan.render())
@@ -371,8 +436,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="also binary-search the minimum fleet meeting the SLO",
     )
     serve.add_argument(
-        "--max-instances", type=_positive_int, default=32,
-        help="capacity-search upper bound (default 32)",
+        "--max-instances", type=_positive_int, default=None,
+        help="fleet ceiling: the autoscaler's clamp (scenario default 16) "
+        "and the capacity-search upper bound (default 32)",
+    )
+    serve.add_argument(
+        "--autoscale", choices=("none", "target-util", "queue-pid"),
+        default=None,
+        help="close the loop: grow/shrink the fleet mid-simulation",
+    )
+    serve.add_argument(
+        "--autoscale-target", type=float, default=None,
+        help="policy setpoint (busy fraction for target-util, queued "
+        "requests per replica for queue-pid)",
+    )
+    serve.add_argument(
+        "--min-instances", type=_positive_int, default=None,
+        help="autoscaler floor (default 1)",
+    )
+    serve.add_argument(
+        "--warmup-ms", type=float, default=None,
+        help="provisioning delay before a scaled-out instance serves",
+    )
+    serve.add_argument(
+        "--admission", choices=("none", "shed", "tarpit"), default=None,
+        help="overload response in front of the scheduler",
+    )
+    serve.add_argument(
+        "--queue-budget", type=int, default=None,
+        help="queue depth at which admissions are refused (0 disables)",
+    )
+    serve.add_argument(
+        "--quota-qps", type=float, default=None,
+        help="per-tenant token-bucket admission rate (0 disables)",
+    )
+    serve.add_argument(
+        "--tarpit-ms", type=float, default=None,
+        help="retry delay per refusal in tarpit mode",
+    )
+    serve.add_argument(
+        "--trace-file", default=None, metavar="CSV",
+        help="replay a recorded request stream instead of a generated "
+        "arrival model (single point only)",
     )
     serve.add_argument(
         "--jobs", type=_positive_int, default=1,

@@ -1,7 +1,7 @@
 """Campaign engine: declarative scenario sweeps with parallel execution
 and a persistent, content-addressed result store.
 
-The pieces (see DESIGN.md for the repo map):
+The pieces:
 
 * :mod:`repro.campaign.spec` — ``Scenario``/``CampaignSpec``: declarative
   cross-products over architecture and workload knobs.

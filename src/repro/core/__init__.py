@@ -1,6 +1,6 @@
 """ReGraphX core: the paper's heterogeneous 3D ReRAM architecture.
 
-Composition (bottom of DESIGN.md has the full map):
+Composition:
 
 * :mod:`repro.core.config` — Table I architecture parameters.
 * :mod:`repro.core.mapping` — SA-based layer-to-router placement.
@@ -18,6 +18,7 @@ from repro.core.dse import (
     DesignPoint,
     evaluate_design,
     pareto_front,
+    sweep_autoscaler_targets,
     sweep_mesh,
     sweep_sa_restarts,
     sweep_serving_qps,
@@ -71,5 +72,6 @@ __all__ = [
     "sweep_mesh",
     "sweep_sa_restarts",
     "sweep_serving_qps",
+    "sweep_autoscaler_targets",
     "pareto_front",
 ]

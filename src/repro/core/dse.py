@@ -247,6 +247,59 @@ def sweep_serving_qps(
     return run_serving_campaign(spec, jobs=jobs, store=store).records
 
 
+def sweep_autoscaler_targets(
+    targets: list[float],
+    autoscaler: str = "target-util",
+    dataset: str = "ppi",
+    scale: float = 0.05,
+    qps: float = 150.0,
+    arrival: str = "mmpp",
+    instances: int = 2,
+    min_instances: int = 1,
+    max_instances: int = 12,
+    max_batch: int = 8,
+    duration_seconds: float = 2.0,
+    seed: int = 0,
+    jobs: int = 1,
+    store: "ResultStore | None" = None,
+):
+    """Sweep the autoscaler setpoint; the cost-vs-tail trade-off axis.
+
+    Each target runs the full closed-loop simulation (the fleet grows and
+    shrinks against the bursty arrival stream) and returns one
+    :class:`~repro.serve.scenario.ServingRecord` per setpoint.  A tight
+    target (high utilization / deep queue tolerance) spends few
+    instance-seconds but lets tails grow; a loose one buys latency with
+    capacity — the sweep shows where the knee sits for a workload.
+    """
+    from repro.campaign.spec import CampaignSpec
+    from repro.serve.scenario import ServingScenario
+    from repro.serve.sweep import run_serving_campaign
+
+    if not targets:
+        raise ValueError("need at least one autoscaler target")
+    if any(t <= 0 for t in targets):
+        raise ValueError("autoscaler targets must be positive")
+    spec = CampaignSpec(
+        name="sweep-autoscaler-targets",
+        base=ServingScenario(
+            dataset=dataset,
+            scale=scale,
+            arrival=arrival,
+            qps=qps,
+            instances=instances,
+            min_instances=min_instances,
+            max_instances=max_instances,
+            max_batch=max_batch,
+            duration_seconds=duration_seconds,
+            autoscaler=autoscaler,
+            seed=seed,
+        ),
+        axes=(("autoscale_target", tuple(float(t) for t in targets)),),
+    )
+    return run_serving_campaign(spec, jobs=jobs, store=store).records
+
+
 def pareto_front(points: list[DesignPoint]) -> list[DesignPoint]:
     """Pareto-efficient subset on (epoch time, energy, peak temperature).
 

@@ -1,9 +1,12 @@
-"""Experiment drivers: one module per paper table/figure (see DESIGN.md).
+"""Experiment drivers: one module per reported table/figure.
 
-Every driver returns a plain dataclass of results and offers a
-``format_*`` helper that renders the same rows/series the paper reports.
-Scales default to laptop-friendly sizes whose *per-input* statistics match
-the full Table II datasets (see ``Workload.full_scale_num_inputs``).
+Every driver returns a plain result dataclass plus a ``table()`` renderer
+producing the same rows/series the paper reports (figs 3-8) or the
+serving extensions add (figs 9-10).  Scales default to laptop-friendly
+sizes whose *per-input* statistics match the full Table II datasets (see
+``Workload.full_scale_num_inputs``).  The name-to-callable registry that
+the CLI and campaign engine consume lives in
+:mod:`repro.experiments.runner`.
 """
 
 from repro.experiments.common import DEFAULT_SCALES, ExperimentTable
@@ -13,6 +16,7 @@ from repro.experiments.fig6_batch import Fig6Result, run_fig6
 from repro.experiments.fig7_noc import Fig7Result, run_fig7
 from repro.experiments.fig8_fullsystem import Fig8Result, run_fig8
 from repro.experiments.fig9_serving import Fig9Result, run_fig9
+from repro.experiments.fig10_autoscale import Fig10Result, run_fig10
 from repro.experiments.tables import table1_parameters, table2_datasets
 
 __all__ = [
@@ -30,6 +34,8 @@ __all__ = [
     "Fig8Result",
     "run_fig9",
     "Fig9Result",
+    "run_fig10",
+    "Fig10Result",
     "table1_parameters",
     "table2_datasets",
 ]

@@ -1,0 +1,173 @@
+"""Fig. 10 (extension): autoscaling vs static peak provisioning.
+
+Not a paper figure — the paper evaluates one-shot training runs — but the
+experiment the serving layer's closed loop exists for: under bursty MMPP
+traffic, a static fleet must be provisioned for the burst and then idles
+through every quiet phase, while an autoscaler rides the load up and
+down.  The comparison holds the workload and the latency SLO fixed and
+asks what each strategy *pays* in instance-seconds (billed capacity
+integrated over the serving window):
+
+* ``static-peak`` — the smallest static fleet meeting the SLO, found by
+  the binary-search capacity planner.  This is the honest open-loop
+  baseline: anything smaller misses the SLO somewhere in the burst.
+* ``static-min`` — the autoscaler's floor run statically, showing what
+  under-provisioning does to the tail.
+* ``autoscale-util`` / ``autoscale-pid`` — the two closed-loop policies,
+  free to move between the static-min floor and the planned peak.  The
+  ceiling is deliberately the static-peak fleet: the autoscaler never
+  provisions more than the static operator would, so every saved
+  instance-second comes from scaling in through the quiet phases.
+
+The headline number is ``savings``: the fraction of the static-peak
+instance-seconds the target-utilization autoscaler avoids while still
+meeting the same violation budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import ExperimentTable
+
+#: Violation budget shared by the capacity plan and the SLO verdict.
+DEFAULT_MAX_VIOLATION_RATE = 0.01
+
+
+@dataclass(frozen=True)
+class Fig10Point:
+    """One provisioning strategy under the common bursty workload."""
+
+    label: str
+    instances: int  # initial fleet (== the whole fleet when static)
+    peak_instances: int
+    instance_seconds: float
+    p99_latency_seconds: float
+    slo_violation_rate: float
+    completed: int
+    meets_slo: bool
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    points: tuple[Fig10Point, ...]
+    planned_peak: int
+    slo_seconds: float
+    max_violation_rate: float
+
+    def point(self, label: str) -> Fig10Point:
+        for p in self.points:
+            if p.label == label:
+                return p
+        raise KeyError(label)
+
+    @property
+    def savings(self) -> float:
+        """Instance-seconds the util autoscaler saves vs static peak."""
+        static = self.point("static-peak").instance_seconds
+        auto = self.point("autoscale-util").instance_seconds
+        return 1.0 - auto / static if static > 0 else 0.0
+
+    def table(self) -> ExperimentTable:
+        t = ExperimentTable(
+            title=(
+                f"Fig. 10 - autoscaling vs static provisioning "
+                f"(bursty MMPP, SLO {self.slo_seconds * 1e3:g} ms, "
+                f"planned peak {self.planned_peak})"
+            ),
+            columns=[
+                "strategy", "fleet", "peak", "inst-s", "p99 ms", "viol%", "SLO",
+            ],
+        )
+        for p in self.points:
+            t.add_row(
+                p.label,
+                p.instances,
+                p.peak_instances,
+                p.instance_seconds,
+                p.p99_latency_seconds * 1e3,
+                p.slo_violation_rate * 100.0,
+                "met" if p.meets_slo else "MISS",
+            )
+        return t
+
+
+def run_fig10(
+    seed: int = 0,
+    qps: float = 150.0,
+    duration_seconds: float = 2.0,
+    slo_seconds: float = 0.05,
+    max_violation_rate: float = DEFAULT_MAX_VIOLATION_RATE,
+    max_instances: int = 16,
+) -> Fig10Result:
+    """Compare provisioning strategies on one bursty MMPP workload."""
+    from repro.serve.capacity import plan_capacity
+    from repro.serve.scenario import (
+        ServingScenario,
+        run_serving_scenario,
+        scenario_with,
+    )
+
+    base = ServingScenario(
+        dataset="ppi",
+        scale=0.05,
+        arrival="mmpp",
+        qps=qps,
+        duration_seconds=duration_seconds,
+        num_tenants=2,
+        max_batch=8,
+        instances=1,
+        slo_seconds=slo_seconds,
+        min_instances=1,
+        max_instances=max_instances,
+        seed=seed,
+    )
+    plan = plan_capacity(
+        base, max_instances=max_instances, max_violation_rate=max_violation_rate
+    )
+    # Even an infeasible plan has a best-effort ceiling to compare against.
+    peak = plan.instances if plan.feasible else max_instances
+
+    def measure(label: str, scenario) -> Fig10Point:
+        record = run_serving_scenario(scenario)
+        return Fig10Point(
+            label=label,
+            instances=scenario.instances,
+            peak_instances=record.peak_instances,
+            instance_seconds=record.instance_seconds,
+            p99_latency_seconds=record.p99_latency_seconds,
+            slo_violation_rate=record.slo_violation_rate,
+            completed=record.completed,
+            meets_slo=record.slo_violation_rate <= max_violation_rate,
+        )
+
+    points = (
+        measure("static-peak", scenario_with(base, instances=peak)),
+        measure("static-min", scenario_with(base, instances=base.min_instances)),
+        measure(
+            "autoscale-util",
+            scenario_with(
+                base,
+                instances=base.min_instances,
+                autoscaler="target-util",
+                autoscale_target=0.7,
+                max_instances=peak,
+            ),
+        ),
+        measure(
+            "autoscale-pid",
+            scenario_with(
+                base,
+                instances=base.min_instances,
+                autoscaler="queue-pid",
+                autoscale_target=1.0,
+                max_instances=peak,
+            ),
+        ),
+    )
+    return Fig10Result(
+        points=points,
+        planned_peak=peak,
+        slo_seconds=slo_seconds,
+        max_violation_rate=max_violation_rate,
+    )

@@ -25,6 +25,7 @@ from repro.experiments.fig6_batch import run_fig6
 from repro.experiments.fig7_noc import run_fig7
 from repro.experiments.fig8_fullsystem import run_fig8
 from repro.experiments.fig9_serving import run_fig9
+from repro.experiments.fig10_autoscale import run_fig10
 from repro.experiments.tables import table1_parameters, table2_datasets
 
 
@@ -76,6 +77,17 @@ def _fig9(seed: int) -> str:
     return result.table().render() + summary
 
 
+def _fig10(seed: int) -> str:
+    result = run_fig10(seed=seed)
+    util = result.point("autoscale-util")
+    summary = (
+        f"\ntarget-util autoscaler: {result.savings:.1%} fewer "
+        f"instance-seconds than static peak provisioning "
+        f"({'SLO met' if util.meets_slo else 'SLO MISSED'})"
+    )
+    return result.table().render() + summary
+
+
 #: Experiment registry: name -> callable(seed) -> rendered text.
 EXPERIMENTS: dict[str, Callable[[int], str]] = {
     "table1": _table1,
@@ -86,6 +98,7 @@ EXPERIMENTS: dict[str, Callable[[int], str]] = {
     "fig7": _fig7,
     "fig8": _fig8,
     "fig9": _fig9,
+    "fig10": _fig10,
 }
 
 ALL_EXPERIMENTS = tuple(EXPERIMENTS)

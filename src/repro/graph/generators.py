@@ -5,7 +5,8 @@ available offline, so we synthesize degree- and community-matched graphs:
 a Chung-Lu style power-law degree model mixed with planted communities.
 Every downstream quantity the architecture consumes — zero-block histograms
 of the adjacency matrix, partition sizes, message counts, feature widths —
-depends only on these matched statistics (see DESIGN.md, substitutions).
+depends only on these matched statistics, so the synthetic stand-ins are
+faithful where the architecture model actually looks.
 """
 
 from __future__ import annotations

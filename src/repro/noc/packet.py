@@ -1,4 +1,12 @@
-"""Messages and their flit decomposition."""
+"""Messages and their flit decomposition.
+
+The NoC's unit of work: a :class:`Message` is one logical transfer from a
+source router to one or more destinations (several destinations make it a
+multicast), and the simulators move it as a train of fixed-size flits —
+one head flit carrying the route plus as many body flits as the payload
+needs.  Everything downstream (static schedule analysis, the flit-level
+simulators, link statistics) consumes these records.
+"""
 
 from __future__ import annotations
 

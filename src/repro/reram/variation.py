@@ -7,6 +7,7 @@ library can quantify how much non-ideality the GNN workload tolerates —
 a standard robustness study for ISAAC-lineage designs.
 
 Model:
+
 * **Lognormal conductance variation** — each programmed cell's effective
   weight is ``code * exp(N(0, sigma))`` (multiplicative, the accepted
   first-order model for oxide ReRAM).

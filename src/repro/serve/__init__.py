@@ -1,10 +1,12 @@
 """Serving engine: multi-tenant GNN inference traffic on the accelerator.
 
 The workload layer on top of the architecture model: streams of per-user
-inference requests arrive over time, a batching scheduler packs them onto
-replicated accelerator instances, and a discrete-event loop measures what
-a serving system actually cares about — per-tenant tail latency,
-throughput, queue depths, utilization, and SLO violations.
+inference requests arrive over time, an admission controller decides what
+may enter, a batching scheduler packs admitted requests onto replicated
+accelerator instances, an autoscaler grows and shrinks that replica pool
+against the load, and a discrete-event loop measures what a serving
+system actually cares about — per-tenant tail latency, throughput, queue
+depths, utilization, instance-seconds, and SLO violations.
 
 The pieces:
 
@@ -13,10 +15,15 @@ The pieces:
   ``Request`` stream, plus a closed-loop client pool.
 * :mod:`repro.serve.service` — per-batch service times derived from the
   inference-mode ``evaluate()`` pipeline, memoized by batch shape.
+* :mod:`repro.serve.admission` — token-bucket per-tenant quotas and
+  queue-budget load shedding (shed or tarpit) in front of the scheduler.
 * :mod:`repro.serve.scheduler` — size-or-deadline batching with FIFO or
   weighted-fair (stride) composition across tenants.
-* :mod:`repro.serve.engine` — the priority-queue simulation loop and the
-  per-tenant SLO analytics report.
+* :mod:`repro.serve.autoscale` — pluggable fleet controllers
+  (target-utilization and queue-depth PID) with cooldowns and instance
+  warm-up, closing the loop the capacity planner answers statically.
+* :mod:`repro.serve.engine` — the priority-queue simulation loop, the
+  dynamic replica pool, and the per-tenant SLO analytics report.
 * :mod:`repro.serve.scenario` / :mod:`repro.serve.sweep` /
   :mod:`repro.serve.presets` — declarative serving scenarios swept through
   the generic campaign machinery with store-backed caching.
@@ -39,8 +46,30 @@ from repro.serve.arrivals import (
     make_arrivals,
     save_trace,
 )
+from repro.serve.admission import (
+    ADMISSION_MODES,
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionStats,
+    TokenBucket,
+)
+from repro.serve.autoscale import (
+    AUTOSCALERS,
+    AutoscalerPolicy,
+    AutoscaleStats,
+    FleetSnapshot,
+    QueueDepthPIDAutoscaler,
+    ScalingEvent,
+    TargetUtilizationAutoscaler,
+    make_autoscaler,
+)
 from repro.serve.capacity import CapacityPlan, meets_slo, plan_capacity
-from repro.serve.engine import ServingEngine, ServingReport, TenantReport
+from repro.serve.engine import (
+    ReplicaPool,
+    ServingEngine,
+    ServingReport,
+    TenantReport,
+)
 from repro.serve.presets import (
     SERVING_PRESETS,
     get_serving_preset,
@@ -83,6 +112,20 @@ __all__ = [
     "Batch",
     "BatchingScheduler",
     "POLICIES",
+    "ADMISSION_MODES",
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionStats",
+    "TokenBucket",
+    "AUTOSCALERS",
+    "AutoscalerPolicy",
+    "AutoscaleStats",
+    "FleetSnapshot",
+    "QueueDepthPIDAutoscaler",
+    "ScalingEvent",
+    "TargetUtilizationAutoscaler",
+    "make_autoscaler",
+    "ReplicaPool",
     "ServingEngine",
     "ServingReport",
     "TenantReport",

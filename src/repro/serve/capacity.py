@@ -33,6 +33,7 @@ class CapacityPlan:
 
     @property
     def feasible(self) -> bool:
+        """Whether any searched fleet size met the SLO."""
         return self.instances is not None
 
     @property
@@ -43,6 +44,7 @@ class CapacityPlan:
         return self.evaluated[self.instances]
 
     def render(self) -> str:
+        """Human-readable probe table with the minimum marked."""
         lines = [
             f"capacity plan for {self.scenario.display_label} "
             f"(SLO {self.scenario.slo_seconds * 1e3:.1f} ms, "
@@ -80,6 +82,13 @@ def plan_capacity(
     ``instances`` is the smallest count with
     ``slo_violation_rate <= max_violation_rate``, or ``None`` when even
     ``max_instances`` misses it.
+
+    The probes always run open-loop with a static fleet: a scenario's
+    autoscaler would resize every probe to whatever the load needs
+    (making all fleet sizes look identical), and admission control would
+    hide violations by shedding the very requests that miss the SLO — so
+    both are stripped before probing.  The plan is the *static* answer
+    the closed-loop controllers are compared against.
     """
     if max_instances < 1:
         raise ValueError(f"max_instances must be >= 1, got {max_instances}")
@@ -92,7 +101,11 @@ def plan_capacity(
         record = evaluated.get(n)
         if record is None:
             record = run_serving_scenario(
-                scenario_with(scenario, instances=n), service=service, store=store
+                scenario_with(
+                    scenario, instances=n, autoscaler="none", admission="none"
+                ),
+                service=service,
+                store=store,
             )
             evaluated[n] = record
         return record

@@ -1,27 +1,42 @@
-"""Discrete-event serving simulation: arrivals -> batches -> replicas.
+"""Discrete-event serving simulation: arrivals -> admission -> batches -> replicas.
 
 Same priority-queue idiom as the NoC event engine
 (:mod:`repro.noc.events`): a heap of timestamped events, cost scaling
-with the number of requests rather than with elapsed time.  Three event
+with the number of requests rather than with elapsed time.  Five event
 kinds:
 
 * ``DEPART`` — a replica finishes a batch: record per-request latencies,
-  free the instance, re-check the queue (and, closed-loop, owe each
-  finished client its next request).
-* ``ARRIVE`` — a request joins the scheduler queue (and arms its
-  max-wait deadline).
+  free (or retire) the instance, re-check the queue (and, closed-loop,
+  owe each finished client its next request).
+* ``WARMED`` — a scaled-out instance finished its warm-up delay and joins
+  the serving pool.
+* ``ARRIVE`` — a request reaches the admission controller; if admitted it
+  joins the scheduler queue (and arms its max-wait deadline), otherwise
+  it is shed on the spot or tarpitted and retried later.
 * ``TIMEOUT`` — a queued request's deadline passed: dispatch whatever is
   waiting if a replica is free.
+* ``AUTOSCALE`` — the autoscaler's evaluation tick: the policy sees a
+  :class:`~repro.serve.autoscale.FleetSnapshot` and may grow or shrink
+  the replica pool.
 
 Events at the same instant process departures first (a freed replica can
-serve a batch formed in the same instant), then arrivals, then timeouts;
-within a kind, insertion order breaks ties — the whole simulation is a
+serve a batch formed in the same instant), then warm-ups, arrivals, and
+timeouts, with the autoscaler observing the settled state last; within a
+kind, insertion order breaks ties — the whole simulation is a
 deterministic function of the seeded inputs.
 
+The replica pool itself is dynamic (:class:`ReplicaPool`): scale-out
+provisions instances that bill immediately but serve only after their
+warm-up, and scale-in retires idle instances at once while busy ones
+drain their current batch first.  Billed capacity integrates into the
+report's ``instance_seconds`` — the number the autoscaler exists to
+shrink.
+
 The output :class:`ServingReport` carries the SLO analytics: per-tenant
-latency percentiles (via the shared :func:`repro.noc.stats
-.summarize_latencies`), throughput, queue depths, replica utilization,
-and SLO-violation rates.
+latency percentiles (via the shared
+:func:`repro.noc.stats.summarize_latencies`), throughput, queue depths,
+replica utilization, SLO-violation rates, and — when the corresponding
+controller is attached — autoscaling and admission tallies.
 """
 
 from __future__ import annotations
@@ -31,13 +46,150 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.noc.stats import LatencySummary, summarize_latencies
+from repro.serve.admission import AdmissionController, AdmissionStats
 from repro.serve.arrivals import ClosedLoopPool, Request
+from repro.serve.autoscale import (
+    AutoscalerPolicy,
+    AutoscaleStats,
+    FleetSnapshot,
+    ScalingEvent,
+)
 from repro.serve.scheduler import BatchingScheduler
 from repro.serve.service import ServiceModel
 
 _DEPART = 0
-_ARRIVE = 1
-_TIMEOUT = 2
+_WARMED = 1
+_ARRIVE = 2
+_TIMEOUT = 3
+_AUTOSCALE = 4
+
+
+class ReplicaPool:
+    """A dynamic set of replica instances with warm-up and draining.
+
+    Instances move through four states: *warming* (provisioned, billed,
+    not yet serving), *free* (idle, dispatchable), *busy* (occupied by a
+    batch), and *retiring* (busy, will leave the pool when the batch
+    finishes instead of returning to free).  ``provisioned`` counts
+    everything billed; ``target_size`` excludes retiring instances — it
+    is the size the pool is converging to and what the autoscaler reasons
+    about.
+
+    Scale-in removes the cheapest capacity first: instances still warming
+    (nothing lost), then idle ones, and only then does it mark busy
+    instances to retire on departure.  Scale-out conversely rescues
+    retiring instances before provisioning cold ones — a draining replica
+    is already warm.  All choices are by instance id, so the pool is
+    deterministic.
+    """
+
+    def __init__(self, instances: int, warmup_seconds: float = 0.0) -> None:
+        if instances < 1:
+            raise ValueError(f"need at least one instance, got {instances}")
+        if warmup_seconds < 0:
+            raise ValueError("warm-up must be non-negative")
+        self.warmup_seconds = warmup_seconds
+        self._free: list[int] = list(range(instances))
+        heapq.heapify(self._free)
+        self._busy: set[int] = set()
+        self._retiring: set[int] = set()
+        self._warming: dict[int, float] = {}
+        self._next_id = instances
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def provisioned(self) -> int:
+        """Billed instances: warming + free + busy (retiring included)."""
+        return len(self._free) + len(self._busy) + len(self._warming)
+
+    @property
+    def target_size(self) -> int:
+        """Where the pool is heading once retiring instances drain."""
+        return self.provisioned - len(self._retiring)
+
+    @property
+    def ready_count(self) -> int:
+        """Instances able to serve now (free + busy)."""
+        return len(self._free) + len(self._busy)
+
+    @property
+    def busy_count(self) -> int:
+        return len(self._busy)
+
+    @property
+    def warming_count(self) -> int:
+        return len(self._warming)
+
+    def has_free(self) -> bool:
+        return bool(self._free)
+
+    # ------------------------------------------------------------------
+    # Dispatch lifecycle
+    # ------------------------------------------------------------------
+    def acquire(self) -> int:
+        """Take the lowest-id free instance for a batch."""
+        instance = heapq.heappop(self._free)
+        self._busy.add(instance)
+        return instance
+
+    def release(self, instance: int) -> bool:
+        """Return a finished instance; ``False`` when it retires instead."""
+        self._busy.discard(instance)
+        if instance in self._retiring:
+            self._retiring.discard(instance)
+            return False
+        heapq.heappush(self._free, instance)
+        return True
+
+    def warmed(self, instance: int) -> bool:
+        """Promote a warmed instance to free (``False`` if it was
+        cancelled by a scale-in while still warming)."""
+        if instance not in self._warming:
+            return False
+        del self._warming[instance]
+        heapq.heappush(self._free, instance)
+        return True
+
+    # ------------------------------------------------------------------
+    # Scaling
+    # ------------------------------------------------------------------
+    def scale_to(self, target: int, now: float) -> list[tuple[int, float]]:
+        """Move the pool's ``target_size`` to ``target``.
+
+        Returns ``(instance, ready_time)`` for each newly provisioned
+        instance so the engine can schedule its warm-up completion
+        (``ready_time == now`` when there is no warm-up delay).
+        """
+        if target < 1:
+            raise ValueError(f"cannot scale below one instance, got {target}")
+        started: list[tuple[int, float]] = []
+        # Grow: rescue draining instances first — they are already warm.
+        while self.target_size < target and self._retiring:
+            self._retiring.discard(min(self._retiring))
+        while self.target_size < target:
+            instance = self._next_id
+            self._next_id += 1
+            if self.warmup_seconds > 0:
+                ready_at = now + self.warmup_seconds
+                self._warming[instance] = ready_at
+                started.append((instance, ready_at))
+            else:
+                heapq.heappush(self._free, instance)
+                started.append((instance, now))
+        # Shrink: cancel warm-ups, then idle instances, then drain busy ones.
+        while self.target_size > target and self._warming:
+            del self._warming[max(self._warming)]
+        while self.target_size > target and self._free:
+            self._free.remove(max(self._free))
+            heapq.heapify(self._free)
+        while self.target_size > target:
+            candidates = self._busy - self._retiring
+            if not candidates:
+                break
+            self._retiring.add(max(candidates))
+        return started
 
 
 @dataclass(frozen=True)
@@ -53,7 +205,14 @@ class TenantReport:
 
 @dataclass(frozen=True)
 class ServingReport:
-    """Everything one serving simulation measured."""
+    """Everything one serving simulation measured.
+
+    ``instances`` is the initial fleet; with an autoscaler attached the
+    fleet varies over time and ``instance_seconds`` (billed capacity
+    integrated over the serving window) plus the ``autoscale`` trajectory
+    tell the full story.  ``admission`` is ``None`` unless an admission
+    controller gated the run.
+    """
 
     horizon_seconds: float
     makespan_seconds: float
@@ -70,6 +229,10 @@ class ServingReport:
     latency: LatencySummary
     slo_violation_rate: float
     tenants: dict[str, TenantReport]
+    instance_seconds: float = 0.0
+    peak_instances: int = 0
+    autoscale: AutoscaleStats | None = None
+    admission: AdmissionStats | None = None
 
     def render(self) -> str:
         """Human-readable multi-line summary (what the CLI prints)."""
@@ -90,6 +253,17 @@ class ServingReport:
             f"SLO {ms(self.slo_seconds)}: violation rate "
             f"{self.slo_violation_rate:.2%}",
         ]
+        if self.autoscale is not None:
+            a = self.autoscale
+            lines.append(
+                f"fleet[{a.policy}]: start {self.instances} -> peak "
+                f"{a.peak_instances} / min {a.min_instances} / final "
+                f"{a.final_instances}   {a.scale_out_events} scale-out(s), "
+                f"{a.scale_in_events} scale-in(s)   "
+                f"instance-seconds {self.instance_seconds:.3f}"
+            )
+        if self.admission is not None:
+            lines.append(self.admission.render())
         if self.tenants:
             lines.append("per-tenant:")
             for name in sorted(self.tenants):
@@ -120,11 +294,30 @@ def _empty_report(instances: int, slo_seconds: float, horizon: float) -> Serving
         latency=summarize_latencies([]),
         slo_violation_rate=0.0,
         tenants={},
+        instance_seconds=0.0,
+        peak_instances=instances,
     )
 
 
 class ServingEngine:
-    """Drive a scheduler + service model + replica pool over a workload."""
+    """Drive a scheduler + service model + replica pool over a workload.
+
+    Args:
+        scheduler: the batching scheduler owning the admission queue.
+        service: per-batch service-time model.
+        instances: initial replica count (the *whole* fleet when no
+            autoscaler is attached).
+        slo_seconds: per-request latency target for violation accounting.
+        autoscaler: optional :class:`~repro.serve.autoscale
+            .AutoscalerPolicy` evaluated on a fixed cadence; the replica
+            pool then grows and shrinks mid-simulation.
+        admission: optional :class:`~repro.serve.admission
+            .AdmissionController` gating every arrival before it may
+            enter the scheduler queue.
+        warmup_seconds: provisioning delay for scaled-out instances (they
+            bill immediately, serve only once warm; the initial fleet
+            starts warm).
+    """
 
     def __init__(
         self,
@@ -132,15 +325,23 @@ class ServingEngine:
         service: ServiceModel,
         instances: int = 2,
         slo_seconds: float = 0.05,
+        autoscaler: AutoscalerPolicy | None = None,
+        admission: AdmissionController | None = None,
+        warmup_seconds: float = 0.0,
     ) -> None:
         if instances < 1:
             raise ValueError(f"need at least one instance, got {instances}")
         if slo_seconds <= 0:
             raise ValueError(f"SLO must be positive, got {slo_seconds}")
+        if warmup_seconds < 0:
+            raise ValueError("warm-up must be non-negative")
         self.scheduler = scheduler
         self.service = service
         self.instances = instances
         self.slo_seconds = slo_seconds
+        self.autoscaler = autoscaler
+        self.admission = admission
+        self.warmup_seconds = warmup_seconds
 
     def run(
         self,
@@ -153,9 +354,10 @@ class ServingEngine:
         Exactly one of ``requests`` (open-loop: the pre-generated stream)
         or ``closed_loop`` (a client pool the simulation drives) must be
         given.  ``horizon_seconds`` stops *admission* — requests arriving
-        at or after it are dropped (closed-loop pools stop spawning) —
-        but everything admitted is served to completion.  Closed-loop
-        runs require a horizon or they would never terminate.
+        at or after it are dropped (closed-loop pools stop spawning), and
+        tarpitted requests still refused at the horizon are shed — but
+        everything admitted is served to completion.  Closed-loop runs
+        require a horizon or they would never terminate.
         """
         if (requests is None) == (closed_loop is None):
             raise ValueError("provide exactly one of requests / closed_loop")
@@ -165,6 +367,12 @@ class ServingEngine:
             raise ValueError("horizon must be positive")
 
         scheduler = self.scheduler
+        autoscaler = self.autoscaler
+        admission = self.admission
+        if autoscaler is not None:
+            autoscaler.reset()
+        if admission is not None:
+            admission.reset()
         events: list[tuple[float, int, int, object]] = []
         seq = 0
 
@@ -190,69 +398,174 @@ class ServingEngine:
         if not events:
             return _empty_report(self.instances, self.slo_seconds, horizon)
 
-        free: list[int] = list(range(self.instances))
-        heapq.heapify(free)
-        busy_seconds = 0.0
+        pool = ReplicaPool(self.instances, warmup_seconds=self.warmup_seconds)
+        busy_integral = 0.0  # busy instances x time
+        pool_integral = 0.0  # provisioned (billed) instances x time
+        busy_at_makespan = 0.0
+        pool_at_makespan = 0.0
         batches = 0
         served = 0
         latencies: dict[str, list[float]] = {}
         depth_integral = 0.0
         peak_depth = 0
+        peak_pool = pool.provisioned
+        min_pool = pool.provisioned
         last_time = 0.0
         makespan = 0.0
+        scale_events: list[ScalingEvent] = []
+        tick_busy_mark = 0.0
+        tick_pool_mark = 0.0
+        stats = (
+            AdmissionStats(mode=admission.mode) if admission is not None else None
+        )
+        if autoscaler is not None:
+            push(autoscaler.interval_seconds, _AUTOSCALE, None)
+
+        def spawn_follow_up(now: float) -> None:
+            """Closed loop: a finished (or refused) client owes its next request."""
+            nonlocal offered
+            follow_up = closed_loop.next_request(now)
+            if follow_up.arrival_time < horizon:
+                push(follow_up.arrival_time, _ARRIVE, follow_up)
+                offered += 1
 
         def try_dispatch(now: float) -> None:
-            nonlocal busy_seconds, batches
-            while free and scheduler.ready(now):
+            nonlocal batches
+            while pool.has_free() and scheduler.ready(now):
                 batch = scheduler.pop_batch(now)
-                instance = heapq.heappop(free)
+                instance = pool.acquire()
                 seconds = self.service.batch_service_seconds(batch.graph_sizes)
-                busy_seconds += seconds
                 batches += 1
                 push(now + seconds, _DEPART, (instance, batch))
 
         while events:
             now, kind, _, payload = heapq.heappop(events)
-            depth_integral += scheduler.queue_depth * (now - last_time)
+            dt = now - last_time
+            depth_integral += scheduler.queue_depth * dt
+            busy_integral += pool.busy_count * dt
+            pool_integral += pool.provisioned * dt
             last_time = now
             if kind == _DEPART:
-                # Only departures advance the makespan: stale TIMEOUT
-                # events outliving the last departure are no-ops and must
-                # not inflate the throughput/utilization window.
+                # Only departures advance the makespan: stale TIMEOUT (or
+                # autoscale-tick) events outliving the last departure are
+                # no-ops and must not inflate the throughput/utilization
+                # window — the billing integrals are snapshotted here too.
                 makespan = now
+                busy_at_makespan = busy_integral
+                pool_at_makespan = pool_integral
                 instance, batch = payload  # type: ignore[misc]
-                heapq.heappush(free, instance)
+                pool.release(instance)
                 for request in batch.requests:
                     latencies.setdefault(request.tenant, []).append(
                         now - request.arrival_time
                     )
                     served += 1
                     if closed_loop is not None:
-                        follow_up = closed_loop.next_request(now)
-                        if follow_up.arrival_time < horizon:
-                            push(follow_up.arrival_time, _ARRIVE, follow_up)
-                            offered += 1
+                        spawn_follow_up(now)
                 try_dispatch(now)
+            elif kind == _WARMED:
+                if pool.warmed(payload):  # type: ignore[arg-type]
+                    try_dispatch(now)
             elif kind == _ARRIVE:
                 request = payload  # type: ignore[assignment]
+                if admission is not None:
+                    decision = admission.admit(
+                        request.tenant, now, scheduler.queue_depth
+                    )
+                    if not decision.admitted:
+                        retry_at = now + decision.retry_after_seconds
+                        if decision.retry_after_seconds > 0 and retry_at < horizon:
+                            stats.tarpitted += 1
+                            push(retry_at, _ARRIVE, request)
+                        else:
+                            stats.shed += 1
+                            stats.shed_by_reason[decision.reason] = (
+                                stats.shed_by_reason.get(decision.reason, 0) + 1
+                            )
+                            stats.per_tenant_shed[request.tenant] = (
+                                stats.per_tenant_shed.get(request.tenant, 0) + 1
+                            )
+                            if closed_loop is not None:
+                                # The refused client errors out and retries
+                                # after a backoff.  The backoff (reusing the
+                                # controller's tarpit delay) guarantees the
+                                # clock advances even for zero-think-time
+                                # pools — an instant retry against a still-
+                                # full queue would livelock the simulation.
+                                spawn_follow_up(now + admission.tarpit_seconds)
+                        continue
+                    stats.admitted += 1
                 scheduler.enqueue(request)
                 peak_depth = max(peak_depth, scheduler.queue_depth)
                 if scheduler.max_wait_seconds > 0:
                     push(now + scheduler.max_wait_seconds, _TIMEOUT, None)
                 try_dispatch(now)
-            else:  # _TIMEOUT: the queue head may have exceeded its wait.
+            elif kind == _TIMEOUT:
+                # The queue head may have exceeded its wait.
                 try_dispatch(now)
+            else:  # _AUTOSCALE: observe the interval, maybe resize the pool.
+                interval_busy = busy_integral - tick_busy_mark
+                interval_pool = pool_integral - tick_pool_mark
+                tick_busy_mark = busy_integral
+                tick_pool_mark = pool_integral
+                snapshot = FleetSnapshot(
+                    now=now,
+                    provisioned=pool.target_size,
+                    ready=pool.ready_count,
+                    busy=pool.busy_count,
+                    warming=pool.warming_count,
+                    queue_depth=scheduler.queue_depth,
+                    utilization=(
+                        min(interval_busy / interval_pool, 1.0)
+                        if interval_pool > 0
+                        else 0.0
+                    ),
+                )
+                target = autoscaler.decide(snapshot)
+                if target != snapshot.provisioned:
+                    for instance, ready_at in pool.scale_to(target, now):
+                        if ready_at > now:
+                            push(ready_at, _WARMED, instance)
+                    scale_events.append(
+                        ScalingEvent(
+                            time=now, previous=snapshot.provisioned, target=target
+                        )
+                    )
+                    try_dispatch(now)
+                peak_pool = max(peak_pool, pool.provisioned)
+                min_pool = min(min_pool, pool.target_size)
+                if events or scheduler.queue_depth > 0 or pool.busy_count > 0:
+                    push(now + autoscaler.interval_seconds, _AUTOSCALE, None)
 
+        if stats is not None:
+            stats.offered = offered
+        autoscale_stats = (
+            AutoscaleStats(
+                policy=autoscaler.kind,
+                peak_instances=peak_pool,
+                min_instances=min_pool,
+                final_instances=pool.target_size,
+                scale_out_events=sum(1 for e in scale_events if e.delta > 0),
+                scale_in_events=sum(1 for e in scale_events if e.delta < 0),
+                events=tuple(scale_events),
+            )
+            if autoscaler is not None
+            else None
+        )
         return self._report(
             horizon=horizon,
             makespan=makespan,
             offered=offered,
             served=served,
             batches=batches,
-            busy_seconds=busy_seconds,
+            busy_seconds=busy_at_makespan,
+            instance_seconds=pool_at_makespan,
             depth_integral=depth_integral,
             peak_depth=peak_depth,
+            peak_pool=peak_pool,
             latencies=latencies,
+            autoscale=autoscale_stats,
+            admission_stats=stats,
         )
 
     def _report(
@@ -263,9 +576,13 @@ class ServingEngine:
         served: int,
         batches: int,
         busy_seconds: float,
+        instance_seconds: float,
         depth_integral: float,
         peak_depth: int,
+        peak_pool: int,
         latencies: dict[str, list[float]],
+        autoscale: AutoscaleStats | None,
+        admission_stats: AdmissionStats | None,
     ) -> ServingReport:
         window = makespan if makespan > 0 else 1.0
         all_latencies = [v for values in latencies.values() for v in values]
@@ -291,11 +608,17 @@ class ServingEngine:
             completed=served,
             batches=batches,
             throughput_qps=served / window,
-            utilization=busy_seconds / (self.instances * window),
+            utilization=(
+                busy_seconds / instance_seconds if instance_seconds > 0 else 0.0
+            ),
             mean_batch_size=served / batches if batches else 0.0,
             mean_queue_depth=depth_integral / window,
             peak_queue_depth=peak_depth,
             latency=summarize_latencies(all_latencies),
             slo_violation_rate=violations / served if served else 0.0,
             tenants=tenants,
+            instance_seconds=instance_seconds,
+            peak_instances=peak_pool,
+            autoscale=autoscale,
+            admission=admission_stats,
         )

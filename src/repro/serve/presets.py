@@ -74,6 +74,55 @@ def _build_presets() -> dict[str, CampaignSpec]:
                 "under a 4-tenant overload"
             ),
         ),
+        "autoscale": CampaignSpec(
+            name="autoscale",
+            base=ServingScenario(
+                dataset="ppi",
+                scale=0.05,
+                arrival="mmpp",
+                qps=150.0,
+                duration_seconds=2.0,
+                num_tenants=2,
+                max_batch=8,
+                instances=2,
+                min_instances=1,
+                max_instances=6,
+                seed=0,
+            ),
+            axes=(
+                ("autoscaler", ("none", "target-util", "queue-pid")),
+                ("autoscale_target", (0.5, 0.7)),
+            ),
+            description=(
+                "closed-loop fleet study under bursty MMPP traffic: static "
+                "fleet vs target-utilization vs queue-PID autoscaling — "
+                "compare tail latency against instance-seconds"
+            ),
+        ),
+        "admission": CampaignSpec(
+            name="admission",
+            base=ServingScenario(
+                dataset="ppi",
+                scale=0.05,
+                arrival="mmpp",
+                qps=400.0,
+                duration_seconds=1.5,
+                num_tenants=2,
+                max_batch=8,
+                instances=2,
+                queue_budget=32,
+                seed=0,
+            ),
+            axes=(
+                ("admission", ("none", "shed", "tarpit")),
+                ("qps", (200.0, 400.0, 800.0)),
+            ),
+            description=(
+                "overload-response study: open loop vs queue-budget "
+                "shedding vs tarpit backpressure as offered load passes "
+                "the fleet's capacity — shed rate buys bounded tails"
+            ),
+        ),
     }
 
 
@@ -81,10 +130,12 @@ SERVING_PRESETS: dict[str, CampaignSpec] = _build_presets()
 
 
 def serving_preset_names() -> list[str]:
+    """Registered preset names, sorted (what ``--list-presets`` shows)."""
     return sorted(SERVING_PRESETS)
 
 
 def get_serving_preset(name: str) -> CampaignSpec:
+    """Look up a named serving campaign preset."""
     try:
         return SERVING_PRESETS[name]
     except KeyError:

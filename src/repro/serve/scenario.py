@@ -18,7 +18,14 @@ from dataclasses import dataclass, fields, replace
 from typing import Any, Mapping
 
 from repro.campaign.store import ResultStore
-from repro.serve.arrivals import ARRIVALS, TenantMix, make_arrivals
+from repro.serve.admission import ADMISSION_MODES, AdmissionController
+from repro.serve.arrivals import (
+    ARRIVALS,
+    ArrivalProcess,
+    TenantMix,
+    make_arrivals,
+)
+from repro.serve.autoscale import AUTOSCALERS, AutoscalerPolicy, make_autoscaler
 from repro.serve.engine import ServingEngine, ServingReport
 from repro.serve.scheduler import POLICIES, BatchingScheduler
 from repro.serve.service import AcceleratorServiceModel, ServiceModel
@@ -26,7 +33,9 @@ from repro.utils.hashing import stable_digest
 
 #: Bump when the serving model changes in a way that invalidates cached
 #: serving records (participates in every serving scenario's content hash).
-SERVE_SCHEMA_VERSION = 1
+#: v2: closed-loop autoscaling + admission control (dynamic replica pool,
+#: instance-seconds accounting, shed/tarpit tallies).
+SERVE_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -43,9 +52,30 @@ class ServingScenario:
         max_batch: scheduler batch-size cap.
         max_wait_seconds: scheduler deadline for the oldest queued request.
         policy: batch composition (``fifo``/``wfq``).
-        instances: replicated accelerator instances.
+        instances: replicated accelerator instances (the *initial* fleet
+            when an autoscaler is attached).
         slo_seconds: per-request latency target for violation accounting.
         seed: RNG seed for arrivals and service-model calibration.
+        autoscaler: fleet controller — ``none`` (static fleet),
+            ``target-util``, or ``queue-pid``.
+        autoscale_target: the policy setpoint (busy fraction for
+            ``target-util``, queued requests per ready replica for
+            ``queue-pid``).
+        autoscale_interval_seconds: evaluation cadence of the autoscaler.
+        scale_out_cooldown_seconds / scale_in_cooldown_seconds: minimum
+            spacing between applied scaling actions per direction.
+        warmup_seconds: provisioning delay before a scaled-out instance
+            can serve (it bills from the moment it is provisioned).
+        min_instances / max_instances: autoscaler clamp band.
+        admission: overload response — ``none`` (open loop),
+            ``shed`` (drop refused requests), or ``tarpit`` (delay and
+            retry them).
+        queue_budget: scheduler queue depth at which admissions are
+            refused (``0`` disables the queue gate).
+        tenant_quota_qps: per-tenant token-bucket admission rate
+            (``0`` disables quotas).
+        quota_burst: token-bucket burst capacity when quotas are active.
+        tarpit_seconds: retry delay per refusal in ``tarpit`` mode.
         label: display name; auto-derived when empty.
     """
 
@@ -61,6 +91,19 @@ class ServingScenario:
     instances: int = 2
     slo_seconds: float = 0.05
     seed: int = 0
+    autoscaler: str = "none"
+    autoscale_target: float = 0.7
+    autoscale_interval_seconds: float = 0.02
+    scale_out_cooldown_seconds: float = 0.0
+    scale_in_cooldown_seconds: float = 0.05
+    warmup_seconds: float = 0.02
+    min_instances: int = 1
+    max_instances: int = 16
+    admission: str = "none"
+    queue_budget: int = 64
+    tenant_quota_qps: float = 0.0
+    quota_burst: float = 16.0
+    tarpit_seconds: float = 0.02
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -87,9 +130,47 @@ class ServingScenario:
             raise ValueError("need at least one instance")
         if self.slo_seconds <= 0:
             raise ValueError("SLO must be positive")
+        if self.autoscaler != "none" and self.autoscaler not in AUTOSCALERS:
+            raise ValueError(
+                f"unknown autoscaler {self.autoscaler!r}; choose 'none' or "
+                f"one of {sorted(AUTOSCALERS)}"
+            )
+        if self.autoscale_target <= 0:
+            raise ValueError("autoscale_target must be positive")
+        if self.autoscale_interval_seconds <= 0:
+            raise ValueError("autoscale interval must be positive")
+        if self.scale_out_cooldown_seconds < 0 or self.scale_in_cooldown_seconds < 0:
+            raise ValueError("scaling cooldowns must be non-negative")
+        if self.warmup_seconds < 0:
+            raise ValueError("warmup_seconds must be non-negative")
+        if self.min_instances < 1:
+            raise ValueError("min_instances must be >= 1")
+        if self.max_instances < self.min_instances:
+            raise ValueError("max_instances must be >= min_instances")
+        if self.autoscaler != "none" and not (
+            self.min_instances <= self.instances <= self.max_instances
+        ):
+            raise ValueError(
+                f"initial fleet ({self.instances}) must sit inside the "
+                f"autoscaler band [{self.min_instances}, {self.max_instances}]"
+            )
+        if self.admission != "none" and self.admission not in ADMISSION_MODES:
+            raise ValueError(
+                f"unknown admission mode {self.admission!r}; choose 'none' or "
+                f"one of {ADMISSION_MODES}"
+            )
+        if self.queue_budget < 0:
+            raise ValueError("queue_budget must be >= 0")
+        if self.tenant_quota_qps < 0:
+            raise ValueError("tenant_quota_qps must be >= 0")
+        if self.quota_burst < 1:
+            raise ValueError("quota_burst must be >= 1")
+        if self.tarpit_seconds <= 0:
+            raise ValueError("tarpit_seconds must be positive")
 
     @property
     def display_label(self) -> str:
+        """The explicit label when given, else the auto-derived one."""
         return self.label or self.auto_label()
 
     def auto_label(self) -> str:
@@ -100,6 +181,12 @@ class ServingScenario:
             parts.append(self.policy)
         if self.num_tenants != 2:
             parts.append(f"t{self.num_tenants}")
+        if self.autoscaler != "none":
+            # The setpoint is part of the name: target sweeps would
+            # otherwise produce indistinguishable rows.
+            parts.append(f"as-{self.autoscaler}@{self.autoscale_target:g}")
+        if self.admission != "none":
+            parts.append(self.admission)
         parts.append(f"s{self.seed}")
         return "-".join(parts)
 
@@ -111,6 +198,7 @@ class ServingScenario:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ServingScenario":
+        """Rebuild a scenario from :meth:`describe` output (extras ignored)."""
         names = {f.name for f in fields(cls)}
         return cls(**{k: v for k, v in dict(data).items() if k in names})
 
@@ -118,6 +206,7 @@ class ServingScenario:
     # Materialization
     # ------------------------------------------------------------------
     def tenant_mix(self) -> TenantMix:
+        """Equal-weight tenants sharing the stream."""
         return TenantMix.uniform(self.num_tenants)
 
     def build_arrivals(self):
@@ -141,18 +230,49 @@ class ServingScenario:
         )
 
     def build_scheduler(self) -> BatchingScheduler:
+        """A fresh batching scheduler with the scenario's knobs."""
         return BatchingScheduler(
             max_batch=self.max_batch,
             max_wait_seconds=self.max_wait_seconds,
             policy=self.policy,
         )
 
+    def build_autoscaler(self) -> AutoscalerPolicy | None:
+        """The scenario's fleet controller (``None`` for a static fleet)."""
+        if self.autoscaler == "none":
+            return None
+        return make_autoscaler(
+            self.autoscaler,
+            target=self.autoscale_target,
+            min_instances=self.min_instances,
+            max_instances=self.max_instances,
+            interval_seconds=self.autoscale_interval_seconds,
+            scale_out_cooldown_seconds=self.scale_out_cooldown_seconds,
+            scale_in_cooldown_seconds=self.scale_in_cooldown_seconds,
+        )
+
+    def build_admission(self) -> AdmissionController | None:
+        """The scenario's admission gate (``None`` for open-loop intake)."""
+        if self.admission == "none":
+            return None
+        return AdmissionController(
+            mode=self.admission,
+            queue_budget=self.queue_budget,
+            tenant_quota_qps=self.tenant_quota_qps,
+            quota_burst=self.quota_burst,
+            tarpit_seconds=self.tarpit_seconds,
+        )
+
     def build_engine(self, service: ServiceModel) -> ServingEngine:
+        """The fully assembled engine: scheduler + fleet + controllers."""
         return ServingEngine(
             scheduler=self.build_scheduler(),
             service=service,
             instances=self.instances,
             slo_seconds=self.slo_seconds,
+            autoscaler=self.build_autoscaler(),
+            admission=self.build_admission(),
+            warmup_seconds=self.warmup_seconds,
         )
 
 
@@ -186,6 +306,13 @@ class ServingRecord:
     peak_queue_depth: int
     mean_batch_size: float
     eval_seconds: float
+    instance_seconds: float = 0.0
+    peak_instances: int = 0
+    scale_events: int = 0
+    admitted: int = 0
+    shed: int = 0
+    shed_rate: float = 0.0
+    tarpitted: int = 0
     cached: bool = False
 
     def metrics(self) -> dict[str, float]:
@@ -204,9 +331,17 @@ class ServingRecord:
             "mean_queue_depth": self.mean_queue_depth,
             "peak_queue_depth": self.peak_queue_depth,
             "mean_batch_size": self.mean_batch_size,
+            "instance_seconds": self.instance_seconds,
+            "peak_instances": self.peak_instances,
+            "scale_events": self.scale_events,
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "shed_rate": self.shed_rate,
+            "tarpitted": self.tarpitted,
         }
 
     def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (what the result store persists)."""
         from dataclasses import asdict
 
         return asdict(self)
@@ -215,6 +350,7 @@ class ServingRecord:
     def from_dict(
         cls, data: Mapping[str, Any], cached: bool = False
     ) -> "ServingRecord":
+        """Revive a stored record (unknown keys from older schemas dropped)."""
         payload = {
             k: v for k, v in dict(data).items() if k in cls.__dataclass_fields__
         }
@@ -229,6 +365,7 @@ class ServingRecord:
         key: str,
         eval_seconds: float,
     ) -> "ServingRecord":
+        """Flatten a full engine report into the storable record."""
         return cls(
             label=scenario.display_label,
             key=key,
@@ -247,6 +384,23 @@ class ServingRecord:
             peak_queue_depth=report.peak_queue_depth,
             mean_batch_size=report.mean_batch_size,
             eval_seconds=eval_seconds,
+            instance_seconds=report.instance_seconds,
+            peak_instances=report.peak_instances,
+            scale_events=(
+                len(report.autoscale.events) if report.autoscale is not None else 0
+            ),
+            admitted=(
+                report.admission.admitted
+                if report.admission is not None
+                else report.offered
+            ),
+            shed=report.admission.shed if report.admission is not None else 0,
+            shed_rate=(
+                report.admission.shed_rate if report.admission is not None else 0.0
+            ),
+            tarpitted=(
+                report.admission.tarpitted if report.admission is not None else 0
+            ),
         )
 
 
@@ -268,11 +422,19 @@ def _service_for(scenario: ServingScenario) -> AcceleratorServiceModel:
 
 
 def simulate_serving_scenario(
-    scenario: ServingScenario, service: ServiceModel | None = None
+    scenario: ServingScenario,
+    service: ServiceModel | None = None,
+    arrivals: ArrivalProcess | None = None,
 ) -> ServingReport:
-    """Run one scenario through the engine and return the full report."""
+    """Run one scenario through the engine and return the full report.
+
+    ``arrivals`` substitutes the scenario's own arrival model (e.g. a
+    :class:`~repro.serve.arrivals.TraceArrivals` replay for ``repro serve
+    --trace-file``); the scenario then only contributes the scheduler,
+    fleet, and SLO knobs.
+    """
     service = service if service is not None else _service_for(scenario)
-    arrivals = scenario.build_arrivals()
+    arrivals = arrivals if arrivals is not None else scenario.build_arrivals()
     engine = scenario.build_engine(service)
     return engine.run(
         requests=arrivals.generate(scenario.duration_seconds),

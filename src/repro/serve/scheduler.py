@@ -43,14 +43,17 @@ class Batch:
 
     @property
     def size(self) -> int:
+        """Number of requests served together."""
         return len(self.requests)
 
     @property
     def graph_sizes(self) -> tuple[int, ...]:
+        """Per-request graph sizes (the service model's input)."""
         return tuple(r.graph_size for r in self.requests)
 
     @property
     def tenants(self) -> tuple[str, ...]:
+        """Distinct tenants represented in the batch, sorted."""
         return tuple(sorted({r.tenant for r in self.requests}))
 
 
@@ -89,6 +92,7 @@ class BatchingScheduler:
     # ------------------------------------------------------------------
     @property
     def queue_depth(self) -> int:
+        """Requests currently waiting across every tenant queue."""
         return self._depth
 
     def oldest_arrival(self) -> float | None:

@@ -26,6 +26,7 @@ class ServiceModel:
     """Interface: seconds one replica needs to serve one batch."""
 
     def batch_service_seconds(self, graph_sizes: Sequence[int]) -> float:
+        """Seconds one replica is occupied serving this batch."""
         raise NotImplementedError
 
 
@@ -50,6 +51,7 @@ class LinearServiceModel(ServiceModel):
         self.per_node_seconds = per_node_seconds
 
     def batch_service_seconds(self, graph_sizes: Sequence[int]) -> float:
+        """Fixed overhead plus the summed per-node cost."""
         sizes = _validated(graph_sizes)
         return self.base_seconds + self.per_node_seconds * sum(sizes)
 

@@ -47,6 +47,7 @@ class ServingCampaignResult:
         return len(self.records)
 
     def to_json(self, path: str | Path) -> Path:
+        """Write the campaign (metadata + every record) as one JSON file."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
@@ -92,7 +93,8 @@ class ServingCampaignResult:
         t = ExperimentTable(
             title=f"serving campaign '{self.name}'",
             columns=[
-                "scenario", "served", "p50 ms", "p99 ms", "util", "viol%", "batch",
+                "scenario", "served", "p50 ms", "p99 ms", "util", "viol%",
+                "batch", "inst-s", "shed%",
             ],
         )
         for r in self.records:
@@ -104,6 +106,8 @@ class ServingCampaignResult:
                 r.utilization,
                 r.slo_violation_rate * 100.0,
                 r.mean_batch_size,
+                r.instance_seconds,
+                r.shed_rate * 100.0,
             )
         return t
 

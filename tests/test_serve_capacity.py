@@ -94,6 +94,28 @@ class TestPlanCapacity:
             n: r.metrics() for n, r in b.evaluated.items()
         }
 
+    def test_probes_strip_the_closed_loop_controllers(self):
+        # An attached autoscaler would resize every probe (all fleet
+        # sizes look identical) and admission would shed the violating
+        # requests: the plan must answer the *static* open-loop question
+        # regardless of the scenario's closed-loop knobs.
+        closed = scenario_with(
+            SCENARIO,
+            autoscaler="target-util",
+            admission="shed",
+            queue_budget=4,
+            max_instances=16,
+        )
+        static_plan = plan_capacity(
+            SCENARIO, max_instances=8, max_violation_rate=0.01, service=SERVICE
+        )
+        closed_plan = plan_capacity(
+            closed, max_instances=8, max_violation_rate=0.01, service=SERVICE
+        )
+        assert closed_plan.instances == static_plan.instances
+        for n, record in closed_plan.evaluated.items():
+            assert record.metrics() == static_plan.evaluated[n].metrics()
+
     def test_validation(self):
         with pytest.raises(ValueError, match="max_instances"):
             plan_capacity(SCENARIO, max_instances=0, service=SERVICE)
