@@ -1,0 +1,174 @@
+"""Telemetry benchmarks: null-recorder overhead and P² sketch accuracy.
+
+Two promises keep the observability layer honest:
+
+* **Opt-out is free.**  The engine resolves a disabled recorder to *no
+  recorder* before its event loop, so a run with the default
+  :class:`~repro.obs.NullRecorder` must cost the same as one with no
+  recorder argument at all (<= 1.10x, measured best-of-3 both ways).
+* **Opt-in is cheap.**  The P² backend answers p99 within 2% of the
+  store-everything oracle on a million-sample stream while holding a
+  constant few dozen floats.
+
+Results land in ``BENCH_obs.json`` at the repo root so the perf
+trajectory stays tracked in-tree.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from pathlib import Path
+
+from repro.obs import MemoryTraceRecorder, NullRecorder, make_sketch
+from repro.serve.scenario import (
+    ServingScenario,
+    _service_for,
+    simulate_serving_scenario,
+)
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_obs.json"
+
+SCENARIO = ServingScenario(
+    arrival="mmpp",
+    qps=1500.0,
+    duration_seconds=1.0,
+    instances=2,
+    autoscaler="target-util",
+    max_instances=6,
+    admission="shed",
+    queue_budget=64,
+    seed=5,
+)
+
+
+def _timed(fn, *args, **kwargs) -> float:
+    t0 = time.perf_counter()
+    fn(*args, **kwargs)
+    return time.perf_counter() - t0
+
+
+def _record(section: str, payload: dict) -> None:
+    """Merge one section into BENCH_obs.json (atomic enough for CI)."""
+    data: dict = {}
+    if BENCH_PATH.is_file():
+        try:
+            data = json.loads(BENCH_PATH.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    data[section] = payload
+    BENCH_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _lognormal(n: int, seed: int = 7) -> list[float]:
+    rng = random.Random(seed)
+    return [rng.lognormvariate(0.0, 0.5) for _ in range(n)]
+
+
+def test_null_recorder_overhead(benchmark):
+    """Acceptance: a NullRecorder run costs <= 1.10x an untraced run."""
+    service = _service_for(SCENARIO)  # shared, so only the loop is timed
+    benchmark.pedantic(
+        simulate_serving_scenario,
+        args=(SCENARIO,),
+        kwargs={"service": service},
+        rounds=1, iterations=1,
+    )
+    t_plain = min(
+        _timed(simulate_serving_scenario, SCENARIO, service=service)
+        for _ in range(3)
+    )
+    t_null = min(
+        _timed(
+            simulate_serving_scenario, SCENARIO, service=service,
+            recorder=NullRecorder(),
+        )
+        for _ in range(3)
+    )
+    ratio = t_null / t_plain
+    print(
+        f"\nuntraced {t_plain * 1e3:.1f} ms, NullRecorder "
+        f"{t_null * 1e3:.1f} ms -> {ratio:.3f}x"
+    )
+    _record(
+        "null_recorder",
+        {
+            "scenario": SCENARIO.display_label,
+            "plain_seconds": round(t_plain, 4),
+            "null_recorder_seconds": round(t_null, 4),
+            "overhead_ratio": round(ratio, 3),
+        },
+    )
+    assert ratio <= 1.10
+
+
+def test_p2_accuracy_at_scale(benchmark):
+    """Acceptance: P² p99 within 2% of exact on 10^6 samples, O(1) state."""
+    n = 1_000_000
+    values = _lognormal(n)
+    sketch = make_sketch("p2")
+    state_before = sketch.state_size
+
+    def stream() -> None:
+        for v in values:
+            sketch.add(v)
+
+    t_stream = benchmark.pedantic(lambda: _timed(stream), rounds=1, iterations=1)
+    oracle = make_sketch("exact")
+    for v in values:
+        oracle.add(v)
+
+    errors = {
+        q: abs(sketch.quantile(q) - oracle.quantile(q)) / oracle.quantile(q)
+        for q in (50.0, 95.0, 99.0)
+    }
+    print(
+        f"\n{n} samples in {t_stream:.2f} s "
+        f"({n / t_stream / 1e3:.0f}k adds/s): "
+        + "  ".join(f"p{q:g} err {e:.4%}" for q, e in errors.items())
+        + f"  state {sketch.state_size} vs {oracle.state_size} floats"
+    )
+    _record(
+        "p2_accuracy",
+        {
+            "samples": n,
+            "adds_per_second": round(n / t_stream),
+            "p50_rel_error": round(errors[50.0], 6),
+            "p95_rel_error": round(errors[95.0], 6),
+            "p99_rel_error": round(errors[99.0], 6),
+            "p2_state_floats": sketch.state_size,
+            "exact_state_floats": oracle.state_size,
+        },
+    )
+    assert errors[99.0] <= 0.02
+    assert sketch.state_size == state_before  # constant through 10^6 adds
+    assert sketch.count == oracle.count == n
+    assert sketch.max == oracle.max
+
+
+def test_obs_smoke(benchmark):
+    """Single fast case for CI: accuracy at 2*10^4, tracing determinism
+    (run via ``-k smoke`` on every Python version)."""
+    values = _lognormal(20_000)
+    sketch = make_sketch("p2")
+    oracle = make_sketch("exact")
+
+    def stream() -> None:
+        for v in values:
+            sketch.add(v)
+            oracle.add(v)
+
+    benchmark.pedantic(stream, rounds=1, iterations=1)
+    assert abs(sketch.quantile(99.0) - oracle.quantile(99.0)) <= (
+        0.02 * oracle.quantile(99.0)
+    )
+    assert sketch.state_size < 100 < oracle.state_size
+
+    scenario = ServingScenario(qps=200.0, duration_seconds=0.3, seed=2)
+    recorder = MemoryTraceRecorder(sample="all")
+    simulate_serving_scenario(scenario, recorder=recorder)
+    again = MemoryTraceRecorder(sample="all")
+    simulate_serving_scenario(scenario, recorder=again)
+    assert recorder.spans() == again.spans()
+    assert recorder.spans()  # a real run leaves a real trace

@@ -14,7 +14,9 @@ Commands::
                              --campaign for a preset cross-product,
                              --plan-capacity for the minimum static fleet,
                              --autoscale/--admission to close the loop,
-                             --trace-file to replay a recorded stream
+                             --trace-file to replay a recorded stream,
+                             --trace-out/--metrics-out/--trace-sample to
+                             export request traces and metrics as JSONL
 """
 
 from __future__ import annotations
@@ -84,7 +86,16 @@ def cmd_sweep(args: argparse.Namespace) -> None:
         spec = replace(spec, base=replace(spec.base, seed=args.seed))
     store = None if args.no_cache else ResultStore(args.cache)
     print(f"campaign {spec.summary()}  (jobs={args.jobs})")
-    result = run_campaign(spec, jobs=args.jobs, store=store, progress=print)
+    if args.progress:
+        # Structured streaming: start events, hit/computed split, ETA.
+        result = run_campaign(
+            spec,
+            jobs=args.jobs,
+            store=store,
+            on_event=lambda event: print(event.render()),
+        )
+    else:
+        result = run_campaign(spec, jobs=args.jobs, store=store, progress=print)
     out = Path(args.out)
     json_path = result.to_json(out / f"{spec.name}.json")
     csv_path = result.to_csv(out / f"{spec.name}.csv")
@@ -95,6 +106,10 @@ def cmd_sweep(args: argparse.Namespace) -> None:
     print(f"pareto front ({len(front)}/{len(result)}): "
           + ", ".join(r.label for r in front))
     print(f"wrote {json_path} and {csv_path}")
+    print(
+        f"{result.misses} computed, {result.hits} cached, "
+        f"{result.elapsed_seconds:.1f}s wall"
+    )
 
 
 def cmd_evaluate(args: argparse.Namespace) -> None:
@@ -206,6 +221,9 @@ def cmd_serve(args: argparse.Namespace) -> None:
         # hand-tuned band and initial fleet are left alone.
         overrides.setdefault("instances", overrides.get("min_instances", 1))
 
+    if args.trace_sample is not None and not args.trace_out:
+        raise SystemExit("serve: --trace-sample needs --trace-out FILE")
+
     store = None if args.no_cache else ResultStore(args.cache)
     if args.campaign:
         if not args.preset:
@@ -217,6 +235,11 @@ def cmd_serve(args: argparse.Namespace) -> None:
         if args.trace_file:
             raise SystemExit(
                 "serve: --trace-file replays one stream; drop --campaign"
+            )
+        if args.trace_out or args.metrics_out:
+            raise SystemExit(
+                "serve: --trace-out/--metrics-out export one simulation; "
+                "drop --campaign"
             )
         try:
             spec = get_serving_preset(args.preset)
@@ -234,6 +257,10 @@ def cmd_serve(args: argparse.Namespace) -> None:
         print()
         print(result.table().render())
         print(f"wrote {json_path} and {csv_path}")
+        print(
+            f"{result.misses} computed, {result.hits} cached, "
+            f"{result.elapsed_seconds:.1f}s wall"
+        )
         return
 
     trace = None
@@ -280,12 +307,49 @@ def cmd_serve(args: argparse.Namespace) -> None:
           f"{scenario.max_wait_seconds * 1e3:g}ms, policy {scenario.policy}, "
           f"{scenario.instances} instance(s)"
           + ("".join(f"\n  {line}" for line in extras)))
+    recorder = None
+    registry = None
+    sampler = None
+    if args.trace_out:
+        from repro.obs import make_recorder
+
+        try:
+            recorder = make_recorder(
+                args.trace_sample or "all", slo_seconds=scenario.slo_seconds
+            )
+        except ValueError as error:
+            raise SystemExit(f"serve: {error}")
+    if args.metrics_out:
+        from repro.obs import MetricRegistry, Sampler
+
+        registry = MetricRegistry()
+        # Fixed 50-tick cadence over the admission window: the series
+        # length is deterministic and independent of the request count.
+        sampler = Sampler(interval_seconds=scenario.duration_seconds / 50.0)
+
     import time
 
     start = time.perf_counter()
-    report = simulate_serving_scenario(scenario, arrivals=trace)
+    report = simulate_serving_scenario(
+        scenario,
+        arrivals=trace,
+        recorder=recorder,
+        registry=registry,
+        sampler=sampler,
+    )
     elapsed = time.perf_counter() - start
     print(report.render())
+    if recorder is not None:
+        trace_path = recorder.export_jsonl(args.trace_out)
+        print(f"wrote {len(recorder.spans())} trace spans to {trace_path}")
+    if registry is not None:
+        from repro.obs import export_metrics_jsonl
+
+        metrics_path = export_metrics_jsonl(args.metrics_out, registry, sampler)
+        print(
+            f"wrote {len(registry)} metrics + {len(sampler)} samples "
+            f"to {metrics_path}"
+        )
     # The single-point path always re-simulates (the detailed per-tenant
     # report is its whole point) but feeds the store for later campaigns;
     # an existing record is left untouched so prune()'s LRU order and the
@@ -379,6 +443,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--prune", type=int, default=None, metavar="MAX",
         help="evict oldest cached records down to MAX entries and exit",
+    )
+    sweep.add_argument(
+        "--progress", action="store_true",
+        help="stream structured progress (start events, hit/computed "
+        "split, ETA) instead of one line per finished scenario",
     )
 
     serve = sub.add_parser(
@@ -478,6 +547,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-file", default=None, metavar="CSV",
         help="replay a recorded request stream instead of a generated "
         "arrival model (single point only)",
+    )
+    serve.add_argument(
+        "--trace-out", default=None, metavar="JSONL",
+        help="record per-request lifecycle spans and write them as JSON "
+        "Lines (single point only)",
+    )
+    serve.add_argument(
+        "--trace-sample", default=None, metavar="MODE",
+        help="trace sampling mode: all (default), head:N, 1-in-K, or slo "
+        "(SLO violators and sheds only); needs --trace-out",
+    )
+    serve.add_argument(
+        "--metrics-out", default=None, metavar="JSONL",
+        help="export run counters/gauges/latency sketches plus a "
+        "fleet-state time series as JSON Lines (single point only)",
     )
     serve.add_argument(
         "--jobs", type=_positive_int, default=1,

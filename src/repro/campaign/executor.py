@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
 from functools import partial
 from typing import Any, Callable, Sequence, TypeVar
 
@@ -34,6 +35,58 @@ from repro.core.config import ReGraphXConfig
 from repro.core.thermal import ThermalModel, ThermalSpec, tier_powers_from_report
 
 ProgressFn = Callable[[str], None]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One streamed step of a cache-first campaign run.
+
+    The funnel emits one ``started`` event when an evaluation begins and
+    one terminal event per scenario — ``cache-hit`` (revived from the
+    store) or ``finished`` (freshly computed) — so a consumer can render
+    live progress, split hits from computed work, and show an ETA without
+    re-deriving any of it.
+
+    Attributes:
+        kind: ``"started"`` / ``"cache-hit"`` / ``"finished"``.
+        index: the scenario's position in the sweep (input order).
+        total: scenarios in the sweep.
+        done: scenarios complete after this event.
+        label: the scenario's display label.
+        eval_seconds: leaf wall time (terminal events; 0 for cache hits).
+        hits / computed: terminal-event tallies so far, split by origin.
+        eta_seconds: projected wall time left, from the mean computed
+            leaf time over the remaining uncached work (``None`` until
+            one computed result exists, or when nothing remains).
+    """
+
+    kind: str
+    index: int
+    total: int
+    done: int
+    label: str
+    eval_seconds: float = 0.0
+    hits: int = 0
+    computed: int = 0
+    eta_seconds: float | None = None
+
+    def render(self) -> str:
+        """One-line form, matching the classic string-progress format."""
+        if self.kind == "started":
+            return f"[{self.done}/{self.total}] {self.label}  (running)"
+        status = (
+            "cache hit" if self.kind == "cache-hit"
+            else f"{self.eval_seconds:.1f}s"
+        )
+        eta = (
+            f", eta {self.eta_seconds:.0f}s"
+            if self.eta_seconds is not None
+            else ""
+        )
+        return f"[{self.done}/{self.total}] {self.label}  ({status}{eta})"
+
+
+EventFn = Callable[[ProgressEvent], None]
 
 
 def evaluate_scenario(
@@ -93,6 +146,7 @@ def run_cached_scenarios(
     jobs: int = 1,
     store: ResultStore | None = None,
     progress: ProgressFn | None = None,
+    on_event: EventFn | None = None,
 ) -> tuple[list[R], int, int]:
     """Cache-first fan-out: the shared core of every campaign flavour.
 
@@ -108,7 +162,10 @@ def run_cached_scenarios(
         record_type: record dataclass providing ``from_dict``.
         jobs: worker processes for cache misses (``<= 1`` runs inline).
         store: result cache; ``None`` disables persistence entirely.
-        progress: per-scenario callback (e.g. ``print``).
+        progress: per-scenario string callback (e.g. ``print``).
+        on_event: structured :class:`ProgressEvent` callback — the
+            streamed form of ``progress``, with start events, hit vs
+            computed tallies, and an ETA.
 
     Returns:
         ``(records in scenario order, cache hits, cache misses)``.
@@ -131,24 +188,68 @@ def run_cached_scenarios(
     hits = len(scenarios) - len(pending)
 
     done = 0
+    hits_done = 0
+    computed_done = 0
+    computed_time = 0.0
     total = len(scenarios)
+    effective_jobs = max(1, min(jobs, len(pending)))
 
-    def report(record: Any) -> None:
-        nonlocal done
+    def announce(index: int) -> None:
+        if on_event is not None:
+            on_event(
+                ProgressEvent(
+                    kind="started",
+                    index=index,
+                    total=total,
+                    done=done,
+                    label=scenarios[index].display_label,
+                    hits=hits_done,
+                    computed=computed_done,
+                )
+            )
+
+    def report(index: int, record: Any) -> None:
+        nonlocal done, hits_done, computed_done, computed_time
         done += 1
+        if record.cached:
+            hits_done += 1
+        else:
+            computed_done += 1
+            computed_time += record.eval_seconds
         if progress is not None:
             status = "cache hit" if record.cached else f"{record.eval_seconds:.1f}s"
             progress(f"[{done}/{total}] {record.label}  ({status})")
+        if on_event is not None:
+            pending_left = len(pending) - computed_done
+            eta = (
+                (computed_time / computed_done) * pending_left / effective_jobs
+                if pending_left > 0 and computed_done > 0
+                else None
+            )
+            on_event(
+                ProgressEvent(
+                    kind="cache-hit" if record.cached else "finished",
+                    index=index,
+                    total=total,
+                    done=done,
+                    label=record.label,
+                    eval_seconds=record.eval_seconds,
+                    hits=hits_done,
+                    computed=computed_done,
+                    eta_seconds=eta,
+                )
+            )
 
     for i in range(len(scenarios)):
         if records[i] is not None:
-            report(records[i])
+            report(i, records[i])
 
     if pending and jobs > 1:
         with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-            futures = {
-                pool.submit(leaf, scenarios[i], keys[i]): i for i in pending
-            }
+            futures = {}
+            for i in pending:
+                announce(i)
+                futures[pool.submit(leaf, scenarios[i], keys[i])] = i
             remaining = set(futures)
             while remaining:
                 finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
@@ -158,14 +259,15 @@ def run_cached_scenarios(
                     records[i] = record
                     if store is not None:
                         store.put(keys[i], record.to_dict())  # type: ignore[attr-defined]
-                    report(record)
+                    report(i, record)
     else:
         for i in pending:
+            announce(i)
             record = leaf(scenarios[i], keys[i])
             records[i] = record
             if store is not None:
                 store.put(keys[i], record.to_dict())  # type: ignore[attr-defined]
-            report(record)
+            report(i, record)
 
     assert all(r is not None for r in records)
     return list(records), hits, len(pending)  # type: ignore[arg-type]
@@ -185,6 +287,7 @@ def run_scenarios(
     store: ResultStore | None = None,
     progress: ProgressFn | None = None,
     name: str = "campaign",
+    on_event: EventFn | None = None,
 ) -> CampaignResult:
     """Run ``scenarios``, reusing stored results and fanning out misses.
 
@@ -195,6 +298,7 @@ def run_scenarios(
         store: result cache; ``None`` disables persistence entirely.
         progress: per-scenario callback (e.g. ``print``).
         name: campaign name carried into the result.
+        on_event: structured :class:`ProgressEvent` callback.
     """
     scenarios = list(scenarios)
     started = time.perf_counter()
@@ -207,6 +311,7 @@ def run_scenarios(
         jobs=jobs,
         store=store,
         progress=progress,
+        on_event=on_event,
     )
     return CampaignResult(
         name=name,
@@ -222,6 +327,7 @@ def run_campaign(
     jobs: int = 1,
     store: ResultStore | None = None,
     progress: ProgressFn | None = None,
+    on_event: EventFn | None = None,
 ) -> CampaignResult:
     """Enumerate a :class:`CampaignSpec` and run it through the engine."""
     return run_scenarios(
@@ -231,6 +337,7 @@ def run_campaign(
         store=store,
         progress=progress,
         name=spec.name,
+        on_event=on_event,
     )
 
 

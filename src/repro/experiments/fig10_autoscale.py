@@ -36,7 +36,12 @@ DEFAULT_MAX_VIOLATION_RATE = 0.01
 
 @dataclass(frozen=True)
 class Fig10Point:
-    """One provisioning strategy under the common bursty workload."""
+    """One provisioning strategy under the common bursty workload.
+
+    ``peak_burn_rate`` (worst burn window, :mod:`repro.obs.slo`) and
+    ``scale_events`` put the SLO verdict in context: a strategy can pass
+    on the run average while burning its whole budget inside one burst.
+    """
 
     label: str
     instances: int  # initial fleet (== the whole fleet when static)
@@ -46,6 +51,8 @@ class Fig10Point:
     slo_violation_rate: float
     completed: int
     meets_slo: bool
+    peak_burn_rate: float = 0.0
+    scale_events: int = 0
 
 
 @dataclass(frozen=True)
@@ -76,7 +83,8 @@ class Fig10Result:
                 f"planned peak {self.planned_peak})"
             ),
             columns=[
-                "strategy", "fleet", "peak", "inst-s", "p99 ms", "viol%", "SLO",
+                "strategy", "fleet", "peak", "inst-s", "p99 ms", "viol%",
+                "burn x", "steps", "SLO",
             ],
         )
         for p in self.points:
@@ -87,6 +95,8 @@ class Fig10Result:
                 p.instance_seconds,
                 p.p99_latency_seconds * 1e3,
                 p.slo_violation_rate * 100.0,
+                p.peak_burn_rate,
+                p.scale_events,
                 "met" if p.meets_slo else "MISS",
             )
         return t
@@ -139,6 +149,8 @@ def run_fig10(
             slo_violation_rate=record.slo_violation_rate,
             completed=record.completed,
             meets_slo=record.slo_violation_rate <= max_violation_rate,
+            peak_burn_rate=record.peak_burn_rate,
+            scale_events=record.scale_events,
         )
 
     points = (

@@ -21,7 +21,13 @@ DEFAULT_QPS = (50.0, 100.0, 200.0, 400.0, 800.0)
 
 @dataclass(frozen=True)
 class Fig9Point:
-    """One offered-load sample."""
+    """One offered-load sample.
+
+    ``peak_burn_rate`` is the worst burn-rate window
+    (:mod:`repro.obs.slo`): a multiple of the sustainable
+    budget-spending rate, so values above 1 mark the loads where the
+    error budget was being spent faster than it regenerates.
+    """
 
     qps: float
     throughput_qps: float
@@ -29,6 +35,7 @@ class Fig9Point:
     p99_latency_seconds: float
     utilization: float
     slo_violation_rate: float
+    peak_burn_rate: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -52,7 +59,9 @@ class Fig9Result:
                 f"Fig. 9 - serving latency vs load "
                 f"({self.instances} instances, batch<={self.max_batch})"
             ),
-            columns=["qps", "served", "p50 ms", "p99 ms", "util", "viol%"],
+            columns=[
+                "qps", "served", "p50 ms", "p99 ms", "util", "viol%", "burn x",
+            ],
         )
         for p in self.points:
             t.add_row(
@@ -62,6 +71,7 @@ class Fig9Result:
                 p.p99_latency_seconds * 1e3,
                 p.utilization,
                 p.slo_violation_rate * 100.0,
+                p.peak_burn_rate,
             )
         return t
 
@@ -91,6 +101,7 @@ def run_fig9(
             p99_latency_seconds=record.p99_latency_seconds,
             utilization=record.utilization,
             slo_violation_rate=record.slo_violation_rate,
+            peak_burn_rate=record.peak_burn_rate,
         )
         for record in records
     )

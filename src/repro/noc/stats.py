@@ -60,13 +60,22 @@ class LatencySummary:
         }
 
 
-def summarize_latencies(values: Sequence[float]) -> LatencySummary:
+def summarize_latencies(values) -> LatencySummary:
     """p50/p95/p99 summary of ``values`` (all-zero for an empty population).
 
     An empty population is not an error: a tenant that completed nothing
     during a serving window, or a traffic class with no messages, simply
     reports zeros alongside ``count=0``.
+
+    ``values`` is normally a sequence of floats, but a quantile sketch
+    (anything exposing a zero-argument ``summary()`` — see
+    :mod:`repro.obs.sketch`) is accepted too and answers through its own
+    backend, so callers can swap a stored population for a
+    constant-memory estimator without changing their reporting code.
     """
+    summarize = getattr(values, "summary", None)
+    if summarize is not None:
+        return summarize()
     if len(values) == 0:
         return LatencySummary(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, max=0.0)
     ordered = sorted(float(v) for v in values)

@@ -1,0 +1,202 @@
+"""SLO burn-rate analytics: how fast the error budget is being spent.
+
+An SLO ("p-request latency under X") comes with an *error budget*: the
+fraction of requests allowed to violate it (the serving experiments use
+1%, :data:`repro.experiments.fig10_autoscale.DEFAULT_MAX_VIOLATION_RATE`).
+A single end-of-run violation rate says whether the budget held, but not
+*when* it was spent — a 0.9% rate can mean a healthy steady state or a
+ten-second outage that nearly torched the budget.  Burn rate is the
+standard SRE answer: in each time window,
+
+``burn = (violations / completed) / budget``
+
+so ``1.0x`` spends the budget exactly at the sustainable rate, ``10x``
+exhausts a run's budget in a tenth of the run.
+
+:class:`BurnRateTracker` accumulates windowed counts online — O(windows)
+memory, one dict update per completion, so it stays on even for
+million-request streams — and :meth:`BurnRateTracker.report` freezes the
+result into a :class:`SloBurnReport`: the per-window burn series, the
+peak window, the instant the budget ran out (if it did), a
+time-to-exhaustion extrapolation, and per-tenant violation attribution.
+:meth:`SloBurnReport.render` is what ``ServingReport.render()`` appends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BurnWindow:
+    """One fixed-width window of the burn-rate series."""
+
+    start: float
+    completed: int
+    violations: int
+    burn_rate: float
+
+
+@dataclass(frozen=True)
+class SloBurnReport:
+    """Frozen burn-rate analytics for one serving run.
+
+    Attributes:
+        slo_seconds: the per-request latency target.
+        budget: the violation-rate budget (e.g. ``0.01`` = 1%).
+        window_seconds: width of each burn window.
+        windows: the contiguous burn series from ``t=0``.
+        completed / violations: run totals.
+        overall_burn_rate: run-average burn (``1.0`` = budget exactly
+            spent; above that the run blew its budget).
+        peak_burn_rate / peak_window_start: the worst window.
+        exhausted_at: simulated time the cumulative violations crossed
+            the whole run's budget (``None`` when the budget held).
+        time_to_exhaustion: at the final window's violation rate, how
+            much longer the remaining budget would last (``None`` when
+            already exhausted or nothing is currently burning).
+        tenant_violations: violation counts per tenant (attribution).
+    """
+
+    slo_seconds: float
+    budget: float
+    window_seconds: float
+    windows: tuple[BurnWindow, ...]
+    completed: int
+    violations: int
+    overall_burn_rate: float
+    peak_burn_rate: float
+    peak_window_start: float
+    exhausted_at: float | None
+    time_to_exhaustion: float | None
+    tenant_violations: dict[str, int]
+
+    def render(self) -> list[str]:
+        """The burn section ``ServingReport.render()`` appends."""
+        head = (
+            f"SLO burn (budget {self.budget:.2%}, window "
+            f"{self.window_seconds * 1e3:g} ms): overall "
+            f"{self.overall_burn_rate:.2f}x, peak {self.peak_burn_rate:.2f}x "
+            f"@ t={self.peak_window_start:.3f}s"
+        )
+        if self.exhausted_at is not None:
+            head += f", budget exhausted @ t={self.exhausted_at:.3f}s"
+        elif self.time_to_exhaustion is not None:
+            head += f", exhaustion in {self.time_to_exhaustion:.3f}s at current burn"
+        lines = [head]
+        series = " ".join(f"{w.burn_rate:.1f}" for w in self.windows)
+        lines.append(f"  burn/window [x budget]: {series}")
+        if self.violations and self.tenant_violations:
+            attribution = ", ".join(
+                f"{tenant} {count / self.violations:.0%} ({count})"
+                for tenant, count in sorted(
+                    self.tenant_violations.items(),
+                    key=lambda item: (-item[1], item[0]),
+                )
+            )
+            lines.append(f"  violations by tenant: {attribution}")
+        return lines
+
+
+class BurnRateTracker:
+    """Online windowed violation accounting (O(windows) memory).
+
+    The engine calls :meth:`observe` once per completed request;
+    :meth:`report` is called once, after the run.
+    """
+
+    def __init__(
+        self, slo_seconds: float, budget: float, window_seconds: float
+    ) -> None:
+        if slo_seconds <= 0:
+            raise ValueError(f"SLO must be positive, got {slo_seconds}")
+        if not 0 < budget < 1:
+            raise ValueError(f"budget must be a rate in (0, 1), got {budget}")
+        if window_seconds <= 0:
+            raise ValueError(f"window must be positive, got {window_seconds}")
+        self.slo_seconds = slo_seconds
+        self.budget = budget
+        self.window_seconds = window_seconds
+        self._windows: dict[int, list[int]] = {}  # index -> [completed, violations]
+        self._tenant_violations: dict[str, int] = {}
+        self.completed = 0
+        self.violations = 0
+
+    def observe(self, now: float, tenant: str, latency: float) -> bool:
+        """Account one completion; returns whether it violated the SLO."""
+        violated = latency > self.slo_seconds
+        index = int(now / self.window_seconds)
+        cell = self._windows.get(index)
+        if cell is None:
+            cell = self._windows[index] = [0, 0]
+        cell[0] += 1
+        self.completed += 1
+        if violated:
+            cell[1] += 1
+            self.violations += 1
+            self._tenant_violations[tenant] = (
+                self._tenant_violations.get(tenant, 0) + 1
+            )
+        return violated
+
+    def violations_for(self, tenant: str) -> int:
+        """Violations attributed to ``tenant`` so far."""
+        return self._tenant_violations.get(tenant, 0)
+
+    def report(self) -> SloBurnReport | None:
+        """Freeze the series (``None`` when nothing completed)."""
+        if self.completed == 0:
+            return None
+        w = self.window_seconds
+        last_index = max(self._windows)
+        windows: list[BurnWindow] = []
+        for index in range(last_index + 1):
+            completed, violations = self._windows.get(index, (0, 0))
+            burn = (
+                (violations / completed) / self.budget if completed else 0.0
+            )
+            windows.append(
+                BurnWindow(
+                    start=index * w,
+                    completed=completed,
+                    violations=violations,
+                    burn_rate=burn,
+                )
+            )
+        peak = max(windows, key=lambda win: win.burn_rate)
+        overall = (self.violations / self.completed) / self.budget
+
+        # Budget exhaustion: cumulative violations against the *whole
+        # run's* budget (budget rate x total completions), interpolated
+        # inside the window that crossed the line.
+        allowed = self.budget * self.completed
+        exhausted_at: float | None = None
+        cumulative = 0.0
+        for win in windows:
+            if cumulative + win.violations > allowed:
+                overshoot_fraction = (allowed - cumulative) / win.violations
+                exhausted_at = win.start + overshoot_fraction * w
+                break
+            cumulative += win.violations
+
+        # Extrapolation: at the last window's violation rate, how long
+        # until the remaining budget is gone?
+        time_to_exhaustion: float | None = None
+        if exhausted_at is None and windows[-1].violations > 0:
+            rate = windows[-1].violations / w
+            time_to_exhaustion = (allowed - self.violations) / rate
+
+        return SloBurnReport(
+            slo_seconds=self.slo_seconds,
+            budget=self.budget,
+            window_seconds=w,
+            windows=tuple(windows),
+            completed=self.completed,
+            violations=self.violations,
+            overall_burn_rate=overall,
+            peak_burn_rate=peak.burn_rate,
+            peak_window_start=peak.start,
+            exhausted_at=exhausted_at,
+            time_to_exhaustion=time_to_exhaustion,
+            tenant_violations=dict(self._tenant_violations),
+        )

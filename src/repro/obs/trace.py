@@ -1,0 +1,239 @@
+"""Request tracing: per-request lifecycle spans with bounded-memory sampling.
+
+A trace answers the question aggregate metrics cannot: *why did this
+request miss its SLO?*  The serving engine emits one span per lifecycle
+step —
+
+``arrive`` → ``admit`` (verdict) → ``enqueue`` → ``dispatch`` (batch
+formation + instance assignment) → ``depart`` (service complete), with
+``tarpit`` retries, ``shed`` drops, and fleet-level ``warmed`` /
+``scale`` / ``rescue`` events interleaved — all stamped with simulated
+time, so a trace is a deterministic function of the seeded scenario.
+
+Recording is strictly opt-in.  The default :class:`NullRecorder`
+advertises ``enabled = False`` and the engine resolves that to *no
+recorder at all* before the event loop starts, so the instrumented hot
+path is the uninstrumented hot path (asserted by
+``benchmarks/test_bench_obs.py``).
+
+A full trace of a million-request run is exactly the O(requests) memory
+the sketch layer exists to avoid, so :class:`MemoryTraceRecorder`
+supports bounded sampling modes (the CLI's ``--trace-sample``):
+
+* ``all`` — every span (short runs, debugging).
+* ``head:N`` — only the first ``N`` distinct requests.
+* ``1-in-K`` — a deterministic 1/K systematic sample by request id.
+* ``slo`` — SLO violators (and sheds) only: spans buffer per in-flight
+  request and are discarded at a healthy depart, so memory is bounded by
+  the number of requests in flight, not by the stream length.
+
+Export is JSON Lines via :meth:`TraceRecorder.export_jsonl`, one span
+object per line in emission (= simulated time) order.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.serve.arrivals import Request
+
+#: Per-request span kinds, in lifecycle order.
+SPAN_ARRIVE = "arrive"
+SPAN_ADMIT = "admit"
+SPAN_TARPIT = "tarpit"
+SPAN_SHED = "shed"
+SPAN_ENQUEUE = "enqueue"
+SPAN_DISPATCH = "dispatch"
+SPAN_DEPART = "depart"
+
+#: Fleet-level span kinds (no request attached).
+FLEET_WARMED = "warmed"
+FLEET_SCALE = "scale"
+FLEET_RESCUE = "rescue"
+
+#: Span kinds that close a request's lifecycle.
+TERMINAL_SPANS = (SPAN_DEPART, SPAN_SHED)
+
+_ONE_IN_K = re.compile(r"^1-in-(\d+)$")
+_HEAD_N = re.compile(r"^head:(\d+)$")
+
+#: Recorder sampling modes (the CLI ``--trace-sample`` choices; ``head``
+#: and ``1-in`` carry a numeric parameter).
+TRACE_SAMPLE_MODES = ("off", "all", "head:N", "1-in-K", "slo")
+
+
+class TraceRecorder:
+    """No-op base recorder: every hook is a ``pass``.
+
+    The engine checks ``enabled`` once, before its event loop, and drops
+    a disabled recorder entirely — subclasses that record set
+    ``enabled = True``.
+    """
+
+    enabled = False
+
+    def request_event(
+        self, time: float, kind: str, request: "Request", **attrs: Any
+    ) -> None:
+        """Record one lifecycle span for ``request`` (no-op here)."""
+
+    def fleet_event(self, time: float, kind: str, **attrs: Any) -> None:
+        """Record one fleet-level span (no-op here)."""
+
+    def finish(self) -> None:
+        """Flush mode-specific buffers at end of run (no-op here)."""
+
+    def spans(self) -> list[dict[str, Any]]:
+        """All committed spans, in emission order."""
+        return []
+
+    def export_jsonl(self, path: str | Path) -> Path:
+        """Write :meth:`spans` as JSON Lines; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as handle:
+            for span in self.spans():
+                handle.write(json.dumps(span, sort_keys=True) + "\n")
+        return path
+
+
+class NullRecorder(TraceRecorder):
+    """The zero-overhead default: records nothing, exports nothing."""
+
+
+class MemoryTraceRecorder(TraceRecorder):
+    """In-memory span recorder with the bounded sampling modes.
+
+    Args:
+        sample: ``"all"``, ``"head:N"``, ``"1-in-K"``, or ``"slo"``.
+        slo_seconds: required by ``"slo"`` mode — the latency threshold
+            that makes a departed request worth keeping.  (Shed requests
+            are always kept in that mode: failing to be served at all is
+            the strongest SLO violation there is.)
+    """
+
+    enabled = True
+
+    def __init__(self, sample: str = "all", slo_seconds: float | None = None) -> None:
+        self.sample = sample
+        self.slo_seconds = slo_seconds
+        self._spans: list[dict[str, Any]] = []
+        self._seq = 0
+        self._head_limit: int | None = None
+        self._every: int | None = None
+        self._head_seen: set[int] = set()
+        self._pending: dict[int, list[dict[str, Any]]] = {}
+        if sample in ("all", "slo"):
+            if sample == "slo" and slo_seconds is None:
+                raise ValueError("'slo' sampling needs slo_seconds")
+        elif match := _HEAD_N.match(sample):
+            self._head_limit = int(match.group(1))
+            if self._head_limit < 1:
+                raise ValueError("head:N needs N >= 1")
+        elif match := _ONE_IN_K.match(sample):
+            self._every = int(match.group(1))
+            if self._every < 1:
+                raise ValueError("1-in-K needs K >= 1")
+        else:
+            raise ValueError(
+                f"unknown trace sample mode {sample!r}; choose one of "
+                f"{TRACE_SAMPLE_MODES} (with N/K filled in)"
+            )
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _span(
+        self, time: float, kind: str, request: "Request | None", attrs: dict
+    ) -> dict[str, Any]:
+        span: dict[str, Any] = {"seq": self._seq, "time": time, "kind": kind}
+        self._seq += 1
+        if request is not None:
+            span["request_id"] = request.request_id
+            span["tenant"] = request.tenant
+            span["graph_size"] = request.graph_size
+        span.update(attrs)
+        return span
+
+    def _wants(self, request: "Request") -> bool:
+        if self._head_limit is not None:
+            if request.request_id in self._head_seen:
+                return True
+            if len(self._head_seen) < self._head_limit:
+                self._head_seen.add(request.request_id)
+                return True
+            return False
+        if self._every is not None:
+            return request.request_id % self._every == 0
+        return True
+
+    def request_event(
+        self, time: float, kind: str, request: "Request", **attrs: Any
+    ) -> None:
+        """Record one lifecycle span, honouring the sampling mode."""
+        if not self._wants(request):
+            return
+        span = self._span(time, kind, request, attrs)
+        if self.sample != "slo":
+            self._spans.append(span)
+            return
+        # Violators-only: buffer until the lifecycle closes, then keep the
+        # request's whole story or drop it.  Memory ~ requests in flight.
+        buffer = self._pending.setdefault(request.request_id, [])
+        buffer.append(span)
+        if kind == SPAN_DEPART:
+            del self._pending[request.request_id]
+            if attrs.get("violated", False):
+                self._spans.extend(buffer)
+        elif kind == SPAN_SHED:
+            del self._pending[request.request_id]
+            self._spans.extend(buffer)
+
+    def fleet_event(self, time: float, kind: str, **attrs: Any) -> None:
+        """Record one fleet-level span (never sampled out — they are rare)."""
+        self._spans.append(self._span(time, kind, None, attrs))
+
+    def finish(self) -> None:
+        """Drop still-open buffers (nothing admitted stays in flight)."""
+        self._pending.clear()
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def spans(self) -> list[dict[str, Any]]:
+        """All committed spans in emission order.
+
+        In ``slo`` mode requests commit atomically at their terminal
+        span, so the list is re-sorted by ``seq`` to restore global
+        emission order before it is read or exported.
+        """
+        if self.sample == "slo":
+            self._spans.sort(key=lambda s: s["seq"])
+        return list(self._spans)
+
+    def request_ids(self) -> list[int]:
+        """Distinct request ids with at least one committed span, sorted."""
+        return sorted(
+            {s["request_id"] for s in self._spans if "request_id" in s}
+        )
+
+    def spans_for(self, request_id: int) -> list[dict[str, Any]]:
+        """One request's spans in emission order."""
+        return [s for s in self.spans() if s.get("request_id") == request_id]
+
+
+def make_recorder(
+    mode: str | None, slo_seconds: float | None = None
+) -> TraceRecorder:
+    """Build a recorder from a CLI-style mode string.
+
+    ``None`` / ``"off"`` / ``"none"`` yield the :class:`NullRecorder`;
+    anything else is a :class:`MemoryTraceRecorder` sampling mode.
+    """
+    if mode is None or mode in ("off", "none"):
+        return NullRecorder()
+    return MemoryTraceRecorder(sample=mode, slo_seconds=slo_seconds)

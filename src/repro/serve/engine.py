@@ -35,8 +35,20 @@ shrink.
 The output :class:`ServingReport` carries the SLO analytics: per-tenant
 latency percentiles (via the shared
 :func:`repro.noc.stats.summarize_latencies`), throughput, queue depths,
-replica utilization, SLO-violation rates, and — when the corresponding
+replica utilization, SLO-violation rates, windowed burn-rate analytics
+(:class:`~repro.obs.slo.SloBurnReport`), and — when the corresponding
 controller is attached — autoscaling and admission tallies.
+
+Telemetry is injected, never hard-wired: the engine accepts an optional
+:class:`~repro.obs.trace.TraceRecorder` (per-request lifecycle spans), a
+:class:`~repro.obs.metrics.MetricRegistry` (counters/gauges/histograms
+filled at report time), and a :class:`~repro.obs.metrics.Sampler`
+(fixed-interval fleet-state series).  A disabled recorder is resolved to
+``None`` before the event loop starts, so the default path pays one
+attribute check per run, not per event.  Latency distributions go
+through :mod:`repro.obs.sketch` — the ``"exact"`` backend keeps reports
+bit-identical to the pre-telemetry engine, ``"p2"`` keeps memory
+constant at web scale.
 """
 
 from __future__ import annotations
@@ -46,6 +58,22 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.noc.stats import LatencySummary, summarize_latencies
+from repro.obs.metrics import MetricRegistry, Sampler
+from repro.obs.sketch import SKETCH_BACKENDS, make_sketch
+from repro.obs.slo import BurnRateTracker, SloBurnReport
+from repro.obs.trace import (
+    FLEET_RESCUE,
+    FLEET_SCALE,
+    FLEET_WARMED,
+    SPAN_ADMIT,
+    SPAN_ARRIVE,
+    SPAN_DEPART,
+    SPAN_DISPATCH,
+    SPAN_ENQUEUE,
+    SPAN_SHED,
+    SPAN_TARPIT,
+    TraceRecorder,
+)
 from repro.serve.admission import AdmissionController, AdmissionStats
 from repro.serve.arrivals import ClosedLoopPool, Request
 from repro.serve.autoscale import (
@@ -95,6 +123,10 @@ class ReplicaPool:
         self._retiring: set[int] = set()
         self._warming: dict[int, float] = {}
         self._next_id = instances
+        #: Instances the most recent :meth:`scale_to` rescued from
+        #: draining (already warm, so they rejoin without a warm-up) —
+        #: what the trace recorder reports as ``rescue`` events.
+        self.last_rescued: tuple[int, ...] = ()
 
     # ------------------------------------------------------------------
     # State
@@ -121,6 +153,10 @@ class ReplicaPool:
     @property
     def warming_count(self) -> int:
         return len(self._warming)
+
+    @property
+    def retiring_count(self) -> int:
+        return len(self._retiring)
 
     def has_free(self) -> bool:
         return bool(self._free)
@@ -165,9 +201,13 @@ class ReplicaPool:
         if target < 1:
             raise ValueError(f"cannot scale below one instance, got {target}")
         started: list[tuple[int, float]] = []
+        rescued: list[int] = []
         # Grow: rescue draining instances first — they are already warm.
         while self.target_size < target and self._retiring:
-            self._retiring.discard(min(self._retiring))
+            instance = min(self._retiring)
+            self._retiring.discard(instance)
+            rescued.append(instance)
+        self.last_rescued = tuple(rescued)
         while self.target_size < target:
             instance = self._next_id
             self._next_id += 1
@@ -233,12 +273,18 @@ class ServingReport:
     peak_instances: int = 0
     autoscale: AutoscaleStats | None = None
     admission: AdmissionStats | None = None
+    burn: SloBurnReport | None = None
 
     def render(self) -> str:
         """Human-readable multi-line summary (what the CLI prints)."""
 
         def ms(seconds: float) -> str:
-            return f"{seconds * 1e3:.2f} ms"
+            # Adaptive precision: sub-0.1 ms values would render as
+            # "0.00 ms" at fixed precision, which reads as zero latency.
+            value = seconds * 1e3
+            if value != 0 and abs(value) < 0.1:
+                return f"{value:.3g} ms"
+            return f"{value:.2f} ms"
 
         lines = [
             f"served {self.completed}/{self.offered} requests in "
@@ -262,6 +308,19 @@ class ServingReport:
                 f"{a.scale_in_events} scale-in(s)   "
                 f"instance-seconds {self.instance_seconds:.3f}"
             )
+            if a.events:
+                shown = a.events[:10]
+                steps = " ".join(
+                    f"{e.previous}->{e.target}@{e.time:.2f}s" for e in shown
+                )
+                suffix = (
+                    f" ... (+{len(a.events) - len(shown)} more)"
+                    if len(a.events) > len(shown)
+                    else ""
+                )
+                lines.append(f"  trajectory: {steps}{suffix}")
+        if self.burn is not None:
+            lines.extend(self.burn.render())
         if self.admission is not None:
             lines.append(self.admission.render())
         if self.tenants:
@@ -317,6 +376,24 @@ class ServingEngine:
         warmup_seconds: provisioning delay for scaled-out instances (they
             bill immediately, serve only once warm; the initial fleet
             starts warm).
+        recorder: optional :class:`~repro.obs.trace.TraceRecorder`
+            receiving per-request lifecycle spans.  A recorder whose
+            ``enabled`` is false (the :class:`~repro.obs.trace
+            .NullRecorder` default) is dropped before the event loop, so
+            tracing costs nothing unless it is on.
+        registry: optional :class:`~repro.obs.metrics.MetricRegistry`
+            filled with run counters/gauges and the latency sketches at
+            report time.
+        sampler: optional :class:`~repro.obs.metrics.Sampler` recording
+            the fleet-state time series on its fixed simulated-time
+            cadence.
+        metrics_backend: latency-sketch backend (``"exact"`` stores every
+            latency and keeps reports bit-identical to the pre-telemetry
+            engine; ``"p2"`` is the constant-memory streaming estimator).
+        violation_budget: the SLO error budget (fraction of requests
+            allowed to violate) the burn-rate analytics measure against.
+        burn_window_seconds: burn-rate window width; ``0`` picks an
+            eighth of the run horizon automatically.
     """
 
     def __init__(
@@ -328,6 +405,12 @@ class ServingEngine:
         autoscaler: AutoscalerPolicy | None = None,
         admission: AdmissionController | None = None,
         warmup_seconds: float = 0.0,
+        recorder: TraceRecorder | None = None,
+        registry: MetricRegistry | None = None,
+        sampler: Sampler | None = None,
+        metrics_backend: str = "exact",
+        violation_budget: float = 0.01,
+        burn_window_seconds: float = 0.0,
     ) -> None:
         if instances < 1:
             raise ValueError(f"need at least one instance, got {instances}")
@@ -335,6 +418,18 @@ class ServingEngine:
             raise ValueError(f"SLO must be positive, got {slo_seconds}")
         if warmup_seconds < 0:
             raise ValueError("warm-up must be non-negative")
+        if metrics_backend not in SKETCH_BACKENDS:
+            raise ValueError(
+                f"unknown metrics backend {metrics_backend!r}; "
+                f"choose from {SKETCH_BACKENDS}"
+            )
+        if not 0 < violation_budget < 1:
+            raise ValueError(
+                f"violation budget must be a rate in (0, 1), got "
+                f"{violation_budget}"
+            )
+        if burn_window_seconds < 0:
+            raise ValueError("burn window must be non-negative")
         self.scheduler = scheduler
         self.service = service
         self.instances = instances
@@ -342,6 +437,12 @@ class ServingEngine:
         self.autoscaler = autoscaler
         self.admission = admission
         self.warmup_seconds = warmup_seconds
+        self.recorder = recorder
+        self.registry = registry
+        self.sampler = sampler
+        self.metrics_backend = metrics_backend
+        self.violation_budget = violation_budget
+        self.burn_window_seconds = burn_window_seconds
 
     def run(
         self,
@@ -398,6 +499,20 @@ class ServingEngine:
         if not events:
             return _empty_report(self.instances, self.slo_seconds, horizon)
 
+        # Telemetry collaborators.  A disabled recorder resolves to None
+        # here, once, so the event loop below never pays for tracing it
+        # is not doing.
+        recorder = self.recorder
+        rec = recorder if recorder is not None and recorder.enabled else None
+        sampler = self.sampler
+        seen_requests: set[int] = set()  # first-arrival dedup, tracing only
+        burn = BurnRateTracker(
+            slo_seconds=self.slo_seconds,
+            budget=self.violation_budget,
+            window_seconds=self.burn_window_seconds
+            or max(horizon / 8.0, 1e-9),
+        )
+
         pool = ReplicaPool(self.instances, warmup_seconds=self.warmup_seconds)
         busy_integral = 0.0  # busy instances x time
         pool_integral = 0.0  # provisioned (billed) instances x time
@@ -405,7 +520,9 @@ class ServingEngine:
         pool_at_makespan = 0.0
         batches = 0
         served = 0
-        latencies: dict[str, list[float]] = {}
+        arrived = 0
+        overall_sketch = make_sketch(self.metrics_backend)
+        tenant_sketches: dict[str, object] = {}
         depth_integral = 0.0
         peak_depth = 0
         peak_pool = pool.provisioned
@@ -436,7 +553,38 @@ class ServingEngine:
                 instance = pool.acquire()
                 seconds = self.service.batch_service_seconds(batch.graph_sizes)
                 batches += 1
+                if rec is not None:
+                    for request in batch.requests:
+                        rec.request_event(
+                            now,
+                            SPAN_DISPATCH,
+                            request,
+                            instance=instance,
+                            batch_size=len(batch.requests),
+                            service_seconds=seconds,
+                        )
                 push(now + seconds, _DEPART, (instance, batch))
+
+        def fleet_state() -> dict[str, object]:
+            """What one Sampler row holds (state before the current event)."""
+            return {
+                "ready": pool.ready_count,
+                "warming": pool.warming_count,
+                "busy": pool.busy_count,
+                "retiring": pool.retiring_count,
+                "provisioned": pool.provisioned,
+                "queue_depth": scheduler.queue_depth,
+                "arrived": arrived,
+                "admitted": stats.admitted if stats is not None else arrived,
+                "shed": stats.shed if stats is not None else 0,
+                "tarpitted": stats.tarpitted if stats is not None else 0,
+                "completed": served,
+                "utilization": (
+                    round(busy_integral / pool_integral, 9)
+                    if pool_integral > 0
+                    else 0.0
+                ),
+            }
 
         while events:
             now, kind, _, payload = heapq.heappop(events)
@@ -445,6 +593,8 @@ class ServingEngine:
             busy_integral += pool.busy_count * dt
             pool_integral += pool.provisioned * dt
             last_time = now
+            if sampler is not None and now >= sampler.next_time:
+                sampler.record(now, fleet_state())
             if kind == _DEPART:
                 # Only departures advance the makespan: stale TIMEOUT (or
                 # autoscale-tick) events outliving the last departure are
@@ -456,18 +606,39 @@ class ServingEngine:
                 instance, batch = payload  # type: ignore[misc]
                 pool.release(instance)
                 for request in batch.requests:
-                    latencies.setdefault(request.tenant, []).append(
-                        now - request.arrival_time
-                    )
+                    latency = now - request.arrival_time
+                    sketch = tenant_sketches.get(request.tenant)
+                    if sketch is None:
+                        sketch = tenant_sketches[request.tenant] = make_sketch(
+                            self.metrics_backend
+                        )
+                    sketch.add(latency)  # type: ignore[attr-defined]
+                    overall_sketch.add(latency)
+                    violated = burn.observe(now, request.tenant, latency)
                     served += 1
+                    if rec is not None:
+                        rec.request_event(
+                            now,
+                            SPAN_DEPART,
+                            request,
+                            instance=instance,
+                            latency=latency,
+                            violated=violated,
+                        )
                     if closed_loop is not None:
                         spawn_follow_up(now)
                 try_dispatch(now)
             elif kind == _WARMED:
                 if pool.warmed(payload):  # type: ignore[arg-type]
+                    if rec is not None:
+                        rec.fleet_event(now, FLEET_WARMED, instance=payload)
                     try_dispatch(now)
             elif kind == _ARRIVE:
                 request = payload  # type: ignore[assignment]
+                arrived += 1
+                if rec is not None and request.request_id not in seen_requests:
+                    seen_requests.add(request.request_id)
+                    rec.request_event(now, SPAN_ARRIVE, request)
                 if admission is not None:
                     decision = admission.admit(
                         request.tenant, now, scheduler.queue_depth
@@ -476,6 +647,14 @@ class ServingEngine:
                         retry_at = now + decision.retry_after_seconds
                         if decision.retry_after_seconds > 0 and retry_at < horizon:
                             stats.tarpitted += 1
+                            if rec is not None:
+                                rec.request_event(
+                                    now,
+                                    SPAN_TARPIT,
+                                    request,
+                                    reason=decision.reason,
+                                    retry_at=retry_at,
+                                )
                             push(retry_at, _ARRIVE, request)
                         else:
                             stats.shed += 1
@@ -485,6 +664,13 @@ class ServingEngine:
                             stats.per_tenant_shed[request.tenant] = (
                                 stats.per_tenant_shed.get(request.tenant, 0) + 1
                             )
+                            if rec is not None:
+                                rec.request_event(
+                                    now,
+                                    SPAN_SHED,
+                                    request,
+                                    reason=decision.reason,
+                                )
                             if closed_loop is not None:
                                 # The refused client errors out and retries
                                 # after a backoff.  The backoff (reusing the
@@ -495,7 +681,20 @@ class ServingEngine:
                                 spawn_follow_up(now + admission.tarpit_seconds)
                         continue
                     stats.admitted += 1
+                    if rec is not None:
+                        rec.request_event(
+                            now, SPAN_ADMIT, request, reason=decision.reason
+                        )
+                elif rec is not None:
+                    rec.request_event(now, SPAN_ADMIT, request, reason="open")
                 scheduler.enqueue(request)
+                if rec is not None:
+                    rec.request_event(
+                        now,
+                        SPAN_ENQUEUE,
+                        request,
+                        queue_depth=scheduler.queue_depth,
+                    )
                 peak_depth = max(peak_depth, scheduler.queue_depth)
                 if scheduler.max_wait_seconds > 0:
                     push(now + scheduler.max_wait_seconds, _TIMEOUT, None)
@@ -526,6 +725,15 @@ class ServingEngine:
                     for instance, ready_at in pool.scale_to(target, now):
                         if ready_at > now:
                             push(ready_at, _WARMED, instance)
+                    if rec is not None:
+                        rec.fleet_event(
+                            now,
+                            FLEET_SCALE,
+                            previous=snapshot.provisioned,
+                            target=target,
+                        )
+                        for instance in pool.last_rescued:
+                            rec.fleet_event(now, FLEET_RESCUE, instance=instance)
                     scale_events.append(
                         ScalingEvent(
                             time=now, previous=snapshot.provisioned, target=target
@@ -539,6 +747,12 @@ class ServingEngine:
 
         if stats is not None:
             stats.offered = offered
+        if rec is not None:
+            rec.finish()
+        if sampler is not None:
+            # Extend the series through the run horizon so its length is a
+            # deterministic function of horizon / interval alone.
+            sampler.record(max(horizon, last_time), fleet_state())
         autoscale_stats = (
             AutoscaleStats(
                 policy=autoscaler.kind,
@@ -552,6 +766,27 @@ class ServingEngine:
             if autoscaler is not None
             else None
         )
+        registry = self.registry
+        if registry is not None:
+            registry.counter("requests_offered").inc(offered)
+            registry.counter("arrival_events").inc(arrived)
+            registry.counter("requests_completed").inc(served)
+            registry.counter("batches_dispatched").inc(batches)
+            registry.counter("slo_violations").inc(burn.violations)
+            if stats is not None:
+                registry.counter("admission_admitted").inc(stats.admitted)
+                registry.counter("admission_shed").inc(stats.shed)
+                registry.counter("admission_tarpitted").inc(stats.tarpitted)
+            registry.gauge("peak_queue_depth").set(peak_depth)
+            registry.gauge("peak_instances").set(peak_pool)
+            registry.gauge("final_instances").set(pool.target_size)
+            registry.gauge("instance_seconds").set(pool_at_makespan)
+            registry.gauge("makespan_seconds").set(makespan)
+            registry.attach_histogram("latency_seconds", overall_sketch)
+            for tenant in sorted(tenant_sketches):
+                registry.attach_histogram(
+                    f"latency_seconds[{tenant}]", tenant_sketches[tenant]
+                )
         return self._report(
             horizon=horizon,
             makespan=makespan,
@@ -563,7 +798,9 @@ class ServingEngine:
             depth_integral=depth_integral,
             peak_depth=peak_depth,
             peak_pool=peak_pool,
-            latencies=latencies,
+            overall_sketch=overall_sketch,
+            tenant_sketches=tenant_sketches,
+            burn=burn,
             autoscale=autoscale_stats,
             admission_stats=stats,
         )
@@ -580,24 +817,23 @@ class ServingEngine:
         depth_integral: float,
         peak_depth: int,
         peak_pool: int,
-        latencies: dict[str, list[float]],
+        overall_sketch: object,
+        tenant_sketches: dict[str, object],
+        burn: BurnRateTracker,
         autoscale: AutoscaleStats | None,
         admission_stats: AdmissionStats | None,
     ) -> ServingReport:
         window = makespan if makespan > 0 else 1.0
-        all_latencies = [v for values in latencies.values() for v in values]
-        violations = sum(1 for v in all_latencies if v > self.slo_seconds)
         tenants: dict[str, TenantReport] = {}
-        for name in sorted(latencies):
-            values = latencies[name]
+        for name in sorted(tenant_sketches):
+            sketch = tenant_sketches[name]
+            completed = sketch.count  # type: ignore[attr-defined]
             tenants[name] = TenantReport(
                 tenant=name,
-                completed=len(values),
-                throughput_qps=len(values) / window,
-                latency=summarize_latencies(values),
-                slo_violation_rate=(
-                    sum(1 for v in values if v > self.slo_seconds) / len(values)
-                ),
+                completed=completed,
+                throughput_qps=completed / window,
+                latency=sketch.summary(),  # type: ignore[attr-defined]
+                slo_violation_rate=burn.violations_for(name) / completed,
             )
         return ServingReport(
             horizon_seconds=horizon,
@@ -614,11 +850,12 @@ class ServingEngine:
             mean_batch_size=served / batches if batches else 0.0,
             mean_queue_depth=depth_integral / window,
             peak_queue_depth=peak_depth,
-            latency=summarize_latencies(all_latencies),
-            slo_violation_rate=violations / served if served else 0.0,
+            latency=overall_sketch.summary(),  # type: ignore[attr-defined]
+            slo_violation_rate=burn.violations / served if served else 0.0,
             tenants=tenants,
             instance_seconds=instance_seconds,
             peak_instances=peak_pool,
             autoscale=autoscale,
             admission=admission_stats,
+            burn=burn.report(),
         )

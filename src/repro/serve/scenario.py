@@ -18,6 +18,9 @@ from dataclasses import dataclass, fields, replace
 from typing import Any, Mapping
 
 from repro.campaign.store import ResultStore
+from repro.obs.metrics import MetricRegistry, Sampler
+from repro.obs.sketch import SKETCH_BACKENDS
+from repro.obs.trace import TraceRecorder
 from repro.serve.admission import ADMISSION_MODES, AdmissionController
 from repro.serve.arrivals import (
     ARRIVALS,
@@ -35,7 +38,9 @@ from repro.utils.hashing import stable_digest
 #: serving records (participates in every serving scenario's content hash).
 #: v2: closed-loop autoscaling + admission control (dynamic replica pool,
 #: instance-seconds accounting, shed/tarpit tallies).
-SERVE_SCHEMA_VERSION = 2
+#: v3: telemetry — sketch-backed latency accounting, SLO burn-rate
+#: analytics (new scenario knobs + burn fields on the record).
+SERVE_SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -76,6 +81,13 @@ class ServingScenario:
             (``0`` disables quotas).
         quota_burst: token-bucket burst capacity when quotas are active.
         tarpit_seconds: retry delay per refusal in ``tarpit`` mode.
+        metrics_backend: latency-sketch backend — ``exact`` (store every
+            latency; bit-identical to the pre-telemetry engine) or ``p2``
+            (constant-memory streaming quantiles).
+        violation_budget: SLO error budget (fraction of requests allowed
+            to violate) the burn-rate analytics measure against.
+        burn_window_seconds: burn-rate window width; ``0`` picks an
+            eighth of the run horizon automatically.
         label: display name; auto-derived when empty.
     """
 
@@ -104,6 +116,9 @@ class ServingScenario:
     tenant_quota_qps: float = 0.0
     quota_burst: float = 16.0
     tarpit_seconds: float = 0.02
+    metrics_backend: str = "exact"
+    violation_budget: float = 0.01
+    burn_window_seconds: float = 0.0
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -167,6 +182,18 @@ class ServingScenario:
             raise ValueError("quota_burst must be >= 1")
         if self.tarpit_seconds <= 0:
             raise ValueError("tarpit_seconds must be positive")
+        if self.metrics_backend not in SKETCH_BACKENDS:
+            raise ValueError(
+                f"unknown metrics backend {self.metrics_backend!r}; "
+                f"choose from {SKETCH_BACKENDS}"
+            )
+        if not 0 < self.violation_budget < 1:
+            raise ValueError(
+                f"violation_budget must be a rate in (0, 1), got "
+                f"{self.violation_budget}"
+            )
+        if self.burn_window_seconds < 0:
+            raise ValueError("burn_window_seconds must be non-negative")
 
     @property
     def display_label(self) -> str:
@@ -263,8 +290,19 @@ class ServingScenario:
             tarpit_seconds=self.tarpit_seconds,
         )
 
-    def build_engine(self, service: ServiceModel) -> ServingEngine:
-        """The fully assembled engine: scheduler + fleet + controllers."""
+    def build_engine(
+        self,
+        service: ServiceModel,
+        recorder: TraceRecorder | None = None,
+        registry: MetricRegistry | None = None,
+        sampler: Sampler | None = None,
+    ) -> ServingEngine:
+        """The fully assembled engine: scheduler + fleet + controllers.
+
+        The telemetry collaborators are injected per run, never part of
+        the scenario — they observe an outcome without changing it (and
+        therefore stay out of the content hash).
+        """
         return ServingEngine(
             scheduler=self.build_scheduler(),
             service=service,
@@ -273,6 +311,12 @@ class ServingScenario:
             autoscaler=self.build_autoscaler(),
             admission=self.build_admission(),
             warmup_seconds=self.warmup_seconds,
+            recorder=recorder,
+            registry=registry,
+            sampler=sampler,
+            metrics_backend=self.metrics_backend,
+            violation_budget=self.violation_budget,
+            burn_window_seconds=self.burn_window_seconds,
         )
 
 
@@ -313,6 +357,8 @@ class ServingRecord:
     shed: int = 0
     shed_rate: float = 0.0
     tarpitted: int = 0
+    overall_burn_rate: float = 0.0
+    peak_burn_rate: float = 0.0
     cached: bool = False
 
     def metrics(self) -> dict[str, float]:
@@ -338,6 +384,8 @@ class ServingRecord:
             "shed": self.shed,
             "shed_rate": self.shed_rate,
             "tarpitted": self.tarpitted,
+            "overall_burn_rate": self.overall_burn_rate,
+            "peak_burn_rate": self.peak_burn_rate,
         }
 
     def to_dict(self) -> dict[str, Any]:
@@ -401,6 +449,12 @@ class ServingRecord:
             tarpitted=(
                 report.admission.tarpitted if report.admission is not None else 0
             ),
+            overall_burn_rate=(
+                report.burn.overall_burn_rate if report.burn is not None else 0.0
+            ),
+            peak_burn_rate=(
+                report.burn.peak_burn_rate if report.burn is not None else 0.0
+            ),
         )
 
 
@@ -425,17 +479,23 @@ def simulate_serving_scenario(
     scenario: ServingScenario,
     service: ServiceModel | None = None,
     arrivals: ArrivalProcess | None = None,
+    recorder: TraceRecorder | None = None,
+    registry: MetricRegistry | None = None,
+    sampler: Sampler | None = None,
 ) -> ServingReport:
     """Run one scenario through the engine and return the full report.
 
     ``arrivals`` substitutes the scenario's own arrival model (e.g. a
     :class:`~repro.serve.arrivals.TraceArrivals` replay for ``repro serve
     --trace-file``); the scenario then only contributes the scheduler,
-    fleet, and SLO knobs.
+    fleet, and SLO knobs.  The telemetry collaborators (``recorder`` /
+    ``registry`` / ``sampler``) pass straight through to the engine.
     """
     service = service if service is not None else _service_for(scenario)
     arrivals = arrivals if arrivals is not None else scenario.build_arrivals()
-    engine = scenario.build_engine(service)
+    engine = scenario.build_engine(
+        service, recorder=recorder, registry=registry, sampler=sampler
+    )
     return engine.run(
         requests=arrivals.generate(scenario.duration_seconds),
         horizon_seconds=scenario.duration_seconds,

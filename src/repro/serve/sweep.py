@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable
 
-from repro.campaign.executor import run_cached_scenarios
+from repro.campaign.executor import EventFn, run_cached_scenarios
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import ResultStore
 from repro.serve.scenario import (
@@ -125,6 +125,7 @@ def run_serving_campaign(
     jobs: int = 1,
     store: ResultStore | None = None,
     progress: ProgressFn | None = None,
+    on_event: EventFn | None = None,
 ) -> ServingCampaignResult:
     """Evaluate a serving campaign: cached points first, misses fanned out.
 
@@ -147,6 +148,7 @@ def run_serving_campaign(
         jobs=jobs,
         store=store,
         progress=progress,
+        on_event=on_event,
     )
     return ServingCampaignResult(
         name=spec.name,

@@ -9,7 +9,7 @@ import json
 
 import pytest
 
-from repro.campaign.executor import run_campaign, run_scenarios
+from repro.campaign.executor import ProgressEvent, run_campaign, run_scenarios
 from repro.campaign.results import CampaignResult, ScenarioRecord
 from repro.campaign.spec import CampaignSpec, Scenario
 from repro.campaign.store import ResultStore
@@ -106,6 +106,57 @@ class TestParallel:
     def test_jobs_validated(self):
         with pytest.raises(ValueError, match="jobs"):
             run_scenarios(SCENARIOS, jobs=0)
+
+
+class TestProgressEvents:
+    def test_cache_hits_stream_terminal_events_only(self, first_run, store):
+        events = []
+        run_scenarios(SCENARIOS, store=store, on_event=events.append)
+        assert [e.kind for e in events] == ["cache-hit"] * len(SCENARIOS)
+        assert [e.done for e in events] == [1, 2, 3]
+        assert events[-1].hits == len(SCENARIOS)
+        assert events[-1].computed == 0
+        assert all(e.eta_seconds is None for e in events)
+
+    def test_computed_runs_announce_then_finish(self):
+        events = []
+        run_scenarios(SCENARIOS[:2], store=None, on_event=events.append)
+        assert [e.kind for e in events] == [
+            "started", "finished", "started", "finished",
+        ]
+        # The first finish projects the remaining uncached work; the last
+        # one has nothing left to project.
+        assert events[1].eta_seconds is not None
+        assert events[1].eta_seconds > 0
+        assert events[3].eta_seconds is None
+        assert events[3].computed == 2
+        assert all(e.total == 2 for e in events)
+        assert [e.label for e in events] == [
+            "2-tier", "2-tier", "3-tier", "3-tier",
+        ]
+
+    def test_event_and_string_progress_agree(self, first_run, store):
+        lines, events = [], []
+        run_scenarios(
+            SCENARIOS, store=store, progress=lines.append,
+            on_event=events.append,
+        )
+        assert lines == [e.render() for e in events]
+
+    def test_render_formats(self):
+        started = ProgressEvent(
+            kind="started", index=0, total=4, done=0, label="point",
+        )
+        assert started.render() == "[0/4] point  (running)"
+        hit = ProgressEvent(
+            kind="cache-hit", index=0, total=4, done=1, label="point", hits=1,
+        )
+        assert hit.render() == "[1/4] point  (cache hit)"
+        finished = ProgressEvent(
+            kind="finished", index=1, total=4, done=2, label="point",
+            eval_seconds=1.26, computed=1, eta_seconds=12.4,
+        )
+        assert finished.render() == "[2/4] point  (1.3s, eta 12s)"
 
 
 class TestProgressAndExport:

@@ -96,6 +96,29 @@ class TestConflictsAndErrors:
         with pytest.raises(SystemExit, match="cannot parse trace"):
             main(["serve", "--trace-file", str(empty), "--no-cache"])
 
+    def test_trace_sample_needs_trace_out(self):
+        with pytest.raises(SystemExit, match="needs --trace-out"):
+            main(["serve", *FAST, "--trace-sample", "slo"])
+
+    def test_telemetry_exports_conflict_with_campaign(self):
+        with pytest.raises(SystemExit, match="one simulation"):
+            main([
+                "serve", "--campaign", "--preset", "serving",
+                "--trace-out", "t.jsonl", "--no-cache",
+            ])
+        with pytest.raises(SystemExit, match="one simulation"):
+            main([
+                "serve", "--campaign", "--preset", "serving",
+                "--metrics-out", "m.jsonl", "--no-cache",
+            ])
+
+    def test_bad_trace_sample_mode_is_a_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="serve:"):
+            main([
+                "serve", *FAST, "--trace-out", str(tmp_path / "t.jsonl"),
+                "--trace-sample", "sometimes",
+            ])
+
     def test_bad_scenario_override_is_a_clean_error(self):
         # Valid argparse input, invalid scenario: caught, not a traceback.
         with pytest.raises(SystemExit, match="serve:"):
@@ -151,6 +174,45 @@ class TestSinglePoint:
             "--tarpit-ms", "15",
         ], capsys)
         assert "admission[tarpit]" in out
+
+    def test_telemetry_exports_both_files(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.jsonl"
+        out = run_cli(
+            [*FAST, "--trace-out", str(trace), "--metrics-out", str(metrics)],
+            capsys,
+        )
+        assert "trace spans" in out and "metrics" in out
+        spans = [json.loads(line) for line in trace.read_text().splitlines()]
+        rows = [json.loads(line) for line in metrics.read_text().splitlines()]
+        assert spans and rows  # every line parses: valid JSONL
+        assert spans[0]["kind"] == "arrive"
+        assert {"sample", "counter", "gauge", "histogram"} <= {
+            r["kind"] for r in rows
+        }
+
+    def test_trace_sample_mode_bounds_the_trace(self, tmp_path, capsys):
+        import json
+
+        full = tmp_path / "full.jsonl"
+        head = tmp_path / "head.jsonl"
+        run_cli([*FAST, "--trace-out", str(full)], capsys)
+        run_cli(
+            [*FAST, "--trace-out", str(head), "--trace-sample", "head:3"],
+            capsys,
+        )
+        full_ids = {
+            json.loads(line).get("request_id")
+            for line in full.read_text().splitlines()
+        } - {None}
+        head_ids = {
+            json.loads(line).get("request_id")
+            for line in head.read_text().splitlines()
+        } - {None}
+        assert len(head_ids) == 3
+        assert head_ids < full_ids
 
     def test_trace_replay_round_trip(self, tmp_path, capsys):
         trace = tmp_path / "trace.csv"

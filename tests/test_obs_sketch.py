@@ -1,0 +1,180 @@
+"""Tests for the quantile sketches: P² vs. the exact oracle.
+
+The P² backend is validated differentially — same stream into both
+backends, estimates must land within a small relative error of the exact
+percentiles — plus the structural properties that make it worth having:
+constant state size, exact answers while the startup buffer is small,
+and exact streaming count/mean/min/max.
+"""
+
+import random
+
+import pytest
+
+from repro.noc.stats import percentile, summarize_latencies
+from repro.obs import (
+    DEFAULT_QUANTILES,
+    SKETCH_BACKENDS,
+    ExactSketch,
+    P2Quantile,
+    P2Sketch,
+    make_sketch,
+)
+
+
+def lognormal_stream(n, seed=7):
+    rng = random.Random(seed)
+    return [rng.lognormvariate(0.0, 0.5) for _ in range(n)]
+
+
+class TestP2Quantile:
+    def test_tracked_quantile_validated(self):
+        with pytest.raises(ValueError, match="quantile"):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError, match="quantile"):
+            P2Quantile(100.0)
+
+    def test_empty_answers_zero(self):
+        assert P2Quantile(50.0).value == 0.0
+
+    def test_small_streams_answer_exactly(self):
+        # Up to five observations the startup buffer holds everything,
+        # so the estimate IS the exact percentile.
+        values = [3.0, 1.0, 4.0, 1.5, 9.0]
+        for n in range(1, 6):
+            estimator = P2Quantile(95.0)
+            for v in values[:n]:
+                estimator.add(v)
+            assert estimator.value == percentile(values[:n], 95.0)
+            assert estimator.count == n
+
+    def test_converges_on_a_long_stream(self):
+        values = lognormal_stream(20_000)
+        for q in (50.0, 95.0, 99.0):
+            estimator = P2Quantile(q)
+            for v in values:
+                estimator.add(v)
+            exact = percentile(values, q)
+            assert estimator.value == pytest.approx(exact, rel=0.02)
+
+    def test_handles_a_sorted_stream(self):
+        # Monotone input is the adversarial case for marker estimators.
+        estimator = P2Quantile(99.0)
+        for v in range(10_000):
+            estimator.add(float(v))
+        assert estimator.value == pytest.approx(
+            percentile(list(range(10_000)), 99.0), rel=0.05
+        )
+
+
+class TestP2Sketch:
+    def test_streaming_moments_are_exact(self):
+        values = lognormal_stream(5_000)
+        sketch = P2Sketch()
+        for v in values:
+            sketch.add(v)
+        assert sketch.count == len(values)
+        assert sketch.mean == pytest.approx(sum(values) / len(values))
+        assert sketch.min == min(values)
+        assert sketch.max == max(values)
+        assert sketch.quantile(0) == min(values)
+        assert sketch.quantile(100) == max(values)
+
+    def test_state_size_is_constant(self):
+        sketch = P2Sketch()
+        baseline = sketch.state_size
+        for v in lognormal_stream(10_000):
+            sketch.add(v)
+        assert sketch.state_size == baseline == 15 * len(DEFAULT_QUANTILES) + 4
+
+    def test_untracked_quantile_raises(self):
+        sketch = P2Sketch(quantiles=(50.0,))
+        sketch.add(1.0)
+        with pytest.raises(ValueError, match="not tracked"):
+            sketch.quantile(99.0)
+
+    def test_needs_at_least_one_quantile(self):
+        with pytest.raises(ValueError, match="at least one"):
+            P2Sketch(quantiles=())
+
+    def test_duplicate_quantiles_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            P2Sketch(quantiles=(50.0, 50.0))
+
+    def test_empty_summary_is_all_zero(self):
+        summary = P2Sketch().summary()
+        assert summary.count == 0
+        assert summary.mean == summary.p50 == summary.p99 == summary.max == 0.0
+
+    def test_summary_tracks_exact_within_tolerance(self):
+        values = lognormal_stream(20_000)
+        sketch = P2Sketch()
+        oracle = ExactSketch()
+        for v in values:
+            sketch.add(v)
+            oracle.add(v)
+        approx, exact = sketch.summary(), oracle.summary()
+        assert approx.count == exact.count
+        assert approx.mean == pytest.approx(exact.mean)
+        assert approx.max == exact.max
+        assert approx.p50 == pytest.approx(exact.p50, rel=0.02)
+        assert approx.p95 == pytest.approx(exact.p95, rel=0.02)
+        assert approx.p99 == pytest.approx(exact.p99, rel=0.02)
+
+
+class TestExactSketch:
+    def test_summary_matches_summarize_latencies(self):
+        values = lognormal_stream(500)
+        sketch = ExactSketch()
+        for v in values:
+            sketch.add(v)
+        assert sketch.summary() == summarize_latencies(values)
+        assert sketch.values == values
+        assert sketch.state_size == len(values)
+
+    def test_empty_sketch_is_all_zero(self):
+        sketch = ExactSketch()
+        assert sketch.count == 0
+        assert sketch.mean == sketch.min == sketch.max == 0.0
+        assert sketch.quantile(99.0) == 0.0
+        assert sketch.summary().count == 0
+
+
+class TestMakeSketch:
+    def test_backends_registered(self):
+        assert set(SKETCH_BACKENDS) == {"exact", "p2"}
+        assert isinstance(make_sketch("exact"), ExactSketch)
+        assert isinstance(make_sketch("p2"), P2Sketch)
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown sketch backend"):
+            make_sketch("hdr")
+
+    def test_backend_attribute_round_trips(self):
+        for backend in SKETCH_BACKENDS:
+            assert make_sketch(backend).backend == backend
+
+
+class TestSummarizeLatenciesRouting:
+    """summarize_latencies accepts a sketch and routes through summary()."""
+
+    def test_exact_sketch_route_is_differential_identity(self):
+        values = lognormal_stream(1_000)
+        sketch = ExactSketch()
+        for v in values:
+            sketch.add(v)
+        assert summarize_latencies(sketch) == summarize_latencies(values)
+
+    def test_p2_sketch_route_uses_the_streaming_state(self):
+        values = lognormal_stream(10_000)
+        sketch = P2Sketch()
+        for v in values:
+            sketch.add(v)
+        routed = summarize_latencies(sketch)
+        exact = summarize_latencies(values)
+        assert routed == sketch.summary()
+        assert routed.p99 == pytest.approx(exact.p99, rel=0.02)
+
+    def test_plain_sequences_still_work(self):
+        assert summarize_latencies([1.0, 2.0, 3.0]).count == 3
+        assert summarize_latencies([]).count == 0

@@ -1,0 +1,134 @@
+"""Tests for SLO burn-rate analytics: windowing, exhaustion, attribution.
+
+The tracker is driven with hand-placed completions so every window count
+is known exactly; the rendered section is pinned loosely (substrings) so
+formatting can evolve without rewriting arithmetic assertions.
+"""
+
+import pytest
+
+from repro.obs import BurnRateTracker, BurnWindow, SloBurnReport
+
+
+def tracker(budget=0.1, window=1.0, slo=0.05):
+    return BurnRateTracker(slo_seconds=slo, budget=budget, window_seconds=window)
+
+
+class TestValidation:
+    def test_slo_must_be_positive(self):
+        with pytest.raises(ValueError, match="SLO"):
+            BurnRateTracker(slo_seconds=0.0, budget=0.01, window_seconds=1.0)
+
+    def test_budget_must_be_a_rate(self):
+        for budget in (0.0, 1.0, -0.5):
+            with pytest.raises(ValueError, match="budget"):
+                BurnRateTracker(slo_seconds=0.05, budget=budget, window_seconds=1.0)
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError, match="window"):
+            BurnRateTracker(slo_seconds=0.05, budget=0.01, window_seconds=0.0)
+
+
+class TestObserve:
+    def test_returns_the_violation_verdict(self):
+        t = tracker(slo=0.05)
+        assert t.observe(0.1, "a", latency=0.06) is True
+        assert t.observe(0.2, "a", latency=0.05) is False  # boundary: meets SLO
+        assert t.completed == 2 and t.violations == 1
+
+    def test_attributes_violations_per_tenant(self):
+        t = tracker()
+        t.observe(0.1, "alice", latency=0.1)
+        t.observe(0.2, "alice", latency=0.1)
+        t.observe(0.3, "bob", latency=0.1)
+        t.observe(0.4, "bob", latency=0.01)
+        assert t.violations_for("alice") == 2
+        assert t.violations_for("bob") == 1
+        assert t.violations_for("carol") == 0
+
+
+class TestReport:
+    def test_empty_run_has_no_report(self):
+        assert tracker().report() is None
+
+    def test_window_series_is_contiguous_from_zero(self):
+        t = tracker(budget=0.1, window=1.0)
+        # Window 0: 2 completions, 1 violation.  Window 1: silent.
+        # Window 2: 4 completions, 1 violation.
+        t.observe(0.2, "a", 0.1)
+        t.observe(0.8, "a", 0.01)
+        for k in range(3):
+            t.observe(2.1 + 0.1 * k, "a", 0.01)
+        t.observe(2.5, "a", 0.1)
+        report = t.report()
+        assert [w.start for w in report.windows] == [0.0, 1.0, 2.0]
+        assert [w.completed for w in report.windows] == [2, 0, 4]
+        assert [w.violations for w in report.windows] == [1, 0, 1]
+        # burn = (violations/completed)/budget; empty window burns 0.
+        assert report.windows[0].burn_rate == pytest.approx(5.0)
+        assert report.windows[1].burn_rate == 0.0
+        assert report.windows[2].burn_rate == pytest.approx(2.5)
+        assert report.peak_burn_rate == pytest.approx(5.0)
+        assert report.peak_window_start == 0.0
+        assert report.overall_burn_rate == pytest.approx((2 / 6) / 0.1)
+
+    def test_exhaustion_interpolated_inside_the_crossing_window(self):
+        t = tracker(budget=0.1, window=1.0)
+        # 10 completions total -> whole-run allowance = 1 violation.
+        # Window 0 alone has 2 violations, so the budget dies mid-window:
+        # allowed(1) / violations-in-window(2) = half way through.
+        t.observe(0.1, "a", 0.1)
+        t.observe(0.2, "a", 0.1)
+        for k in range(8):
+            t.observe(0.3 + 0.05 * k, "a", 0.01)
+        report = t.report()
+        assert report.exhausted_at == pytest.approx(0.5)
+        assert report.time_to_exhaustion is None
+
+    def test_time_to_exhaustion_extrapolates_the_last_window(self):
+        t = tracker(budget=0.1, window=1.0)
+        # 100 completions, 1 violation -> allowance 10, 9 left; the final
+        # window burns 1 violation per second -> 9 s to exhaustion.
+        for k in range(99):
+            t.observe(0.5, "a", 0.01)
+        t.observe(0.9, "a", 0.1)
+        report = t.report()
+        assert report.exhausted_at is None
+        assert report.time_to_exhaustion == pytest.approx(9.0)
+
+    def test_healthy_run_has_neither_exhaustion_nor_countdown(self):
+        t = tracker()
+        for k in range(10):
+            t.observe(0.1 * k, "a", 0.01)
+        report = t.report()
+        assert report.exhausted_at is None
+        assert report.time_to_exhaustion is None
+        assert report.peak_burn_rate == 0.0
+
+
+class TestRender:
+    def test_render_names_the_budget_window_and_peak(self):
+        t = tracker(budget=0.01, window=0.25)
+        t.observe(0.1, "alice", 0.1)
+        t.observe(0.2, "bob", 0.01)
+        lines = t.report().render()
+        head = lines[0]
+        assert "SLO burn (budget 1.00%, window 250 ms)" in head
+        assert "peak" in head and "exhausted" in head
+        assert lines[1].startswith("  burn/window")
+        assert "violations by tenant: alice 100% (1)" in lines[2]
+
+    def test_render_skips_attribution_when_clean(self):
+        t = tracker()
+        t.observe(0.1, "a", 0.01)
+        lines = t.report().render()
+        assert len(lines) == 2  # head + series, no tenant line
+
+    def test_report_is_frozen(self):
+        t = tracker()
+        t.observe(0.1, "a", 0.1)
+        report = t.report()
+        assert isinstance(report, SloBurnReport)
+        assert isinstance(report.windows[0], BurnWindow)
+        with pytest.raises(AttributeError):
+            report.budget = 0.5

@@ -1,0 +1,163 @@
+"""Tests for the trace recorder: sampling modes, slo buffering, export.
+
+These drive the recorder directly with hand-built requests, so every
+sampling decision is pinned without running a simulation; the engine
+integration (real lifecycles, ordering, completeness) lives in
+``test_serve_telemetry.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    SPAN_ADMIT,
+    SPAN_ARRIVE,
+    SPAN_DEPART,
+    SPAN_SHED,
+    TERMINAL_SPANS,
+    FLEET_SCALE,
+    MemoryTraceRecorder,
+    NullRecorder,
+    TraceRecorder,
+    make_recorder,
+)
+from repro.serve.arrivals import Request
+
+
+def request(request_id, tenant="tenant-0"):
+    return Request(
+        tenant=tenant, graph_size=256, arrival_time=0.01 * request_id,
+        request_id=request_id,
+    )
+
+
+def lifecycle(recorder, request_id, violated=False, shed=False):
+    """Emit a minimal arrive -> admit -> depart/shed lifecycle."""
+    r = request(request_id)
+    t = r.arrival_time
+    recorder.request_event(t, SPAN_ARRIVE, r)
+    if shed:
+        recorder.request_event(t, SPAN_SHED, r, reason="queue-budget")
+        return
+    recorder.request_event(t, SPAN_ADMIT, r, reason="open")
+    recorder.request_event(t + 0.02, SPAN_DEPART, r, violated=violated)
+
+
+class TestNullRecorder:
+    def test_disabled_and_empty(self):
+        recorder = NullRecorder()
+        assert recorder.enabled is False
+        lifecycle(recorder, 0)
+        recorder.fleet_event(0.0, FLEET_SCALE, previous=1, target=2)
+        recorder.finish()
+        assert recorder.spans() == []
+
+    def test_export_writes_an_empty_file(self, tmp_path):
+        path = NullRecorder().export_jsonl(tmp_path / "t.jsonl")
+        assert path.read_text() == ""
+
+    def test_base_recorder_is_the_null_contract(self):
+        assert TraceRecorder.enabled is False
+
+
+class TestSamplingModes:
+    def test_all_keeps_every_span(self):
+        recorder = MemoryTraceRecorder(sample="all")
+        for i in range(5):
+            lifecycle(recorder, i)
+        assert len(recorder.spans()) == 15
+        assert recorder.request_ids() == [0, 1, 2, 3, 4]
+
+    def test_head_n_keeps_the_first_n_distinct_requests(self):
+        recorder = MemoryTraceRecorder(sample="head:2")
+        for i in range(5):
+            lifecycle(recorder, i)
+        assert recorder.request_ids() == [0, 1]
+        # A sampled-in request keeps its whole lifecycle.
+        assert [s["kind"] for s in recorder.spans_for(1)] == [
+            SPAN_ARRIVE, SPAN_ADMIT, SPAN_DEPART,
+        ]
+
+    def test_one_in_k_is_systematic_by_request_id(self):
+        recorder = MemoryTraceRecorder(sample="1-in-3")
+        for i in range(9):
+            lifecycle(recorder, i)
+        assert recorder.request_ids() == [0, 3, 6]
+
+    def test_slo_keeps_violators_and_sheds_only(self):
+        recorder = MemoryTraceRecorder(sample="slo", slo_seconds=0.05)
+        lifecycle(recorder, 0, violated=False)
+        lifecycle(recorder, 1, violated=True)
+        lifecycle(recorder, 2, shed=True)
+        assert recorder.request_ids() == [1, 2]
+        assert [s["kind"] for s in recorder.spans_for(2)] == [
+            SPAN_ARRIVE, SPAN_SHED,
+        ]
+
+    def test_slo_restores_emission_order_across_requests(self):
+        recorder = MemoryTraceRecorder(sample="slo", slo_seconds=0.05)
+        # Interleave two violators: commits happen at each depart, but
+        # spans() must come back in global seq order.
+        a, b = request(0), request(1)
+        recorder.request_event(0.00, SPAN_ARRIVE, a)
+        recorder.request_event(0.01, SPAN_ARRIVE, b)
+        recorder.request_event(0.05, SPAN_DEPART, b, violated=True)
+        recorder.request_event(0.06, SPAN_DEPART, a, violated=True)
+        seqs = [s["seq"] for s in recorder.spans()]
+        assert seqs == sorted(seqs)
+        assert [s["request_id"] for s in recorder.spans()] == [0, 1, 1, 0]
+
+    def test_slo_finish_drops_in_flight_buffers(self):
+        recorder = MemoryTraceRecorder(sample="slo", slo_seconds=0.05)
+        recorder.request_event(0.0, SPAN_ARRIVE, request(0))  # never departs
+        recorder.finish()
+        assert recorder.spans() == []
+
+    def test_fleet_events_are_never_sampled_out(self):
+        recorder = MemoryTraceRecorder(sample="head:1")
+        lifecycle(recorder, 0)
+        lifecycle(recorder, 1)  # sampled out
+        recorder.fleet_event(0.5, FLEET_SCALE, previous=1, target=3)
+        kinds = [s["kind"] for s in recorder.spans()]
+        assert kinds.count(FLEET_SCALE) == 1
+
+
+class TestModeValidation:
+    @pytest.mark.parametrize("mode", ["sometimes", "head:0", "1-in-0", "head:x"])
+    def test_bad_modes_raise(self, mode):
+        with pytest.raises(ValueError):
+            MemoryTraceRecorder(sample=mode)
+
+    def test_slo_mode_needs_the_threshold(self):
+        with pytest.raises(ValueError, match="slo_seconds"):
+            MemoryTraceRecorder(sample="slo")
+
+    def test_make_recorder_off_variants(self):
+        assert isinstance(make_recorder(None), NullRecorder)
+        assert isinstance(make_recorder("off"), NullRecorder)
+        assert isinstance(make_recorder("none"), NullRecorder)
+
+    def test_make_recorder_builds_sampling_recorders(self):
+        recorder = make_recorder("1-in-10")
+        assert isinstance(recorder, MemoryTraceRecorder)
+        assert recorder.sample == "1-in-10"
+
+
+class TestExport:
+    def test_jsonl_round_trip_preserves_spans(self, tmp_path):
+        recorder = MemoryTraceRecorder(sample="all")
+        lifecycle(recorder, 0, violated=True)
+        recorder.fleet_event(0.5, FLEET_SCALE, previous=1, target=2)
+        path = recorder.export_jsonl(tmp_path / "out" / "t.jsonl")
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert rows == recorder.spans()
+        assert rows[0]["kind"] == SPAN_ARRIVE
+        assert rows[0]["tenant"] == "tenant-0"
+        assert rows[-1] == {
+            "seq": 3, "time": 0.5, "kind": FLEET_SCALE,
+            "previous": 1, "target": 2,
+        }
+
+    def test_terminal_span_kinds(self):
+        assert set(TERMINAL_SPANS) == {SPAN_DEPART, SPAN_SHED}
