@@ -203,6 +203,8 @@ def cmd_serve(args: argparse.Namespace) -> None:
         ("queue_budget", "queue_budget"),
         ("tenant_quota_qps", "quota_qps"),
         ("max_instances", "max_instances"),
+        ("fleet", "fleet"),
+        ("routing", "routing"),
     ):
         value = getattr(args, arg_name)
         if value is not None:
@@ -288,6 +290,8 @@ def cmd_serve(args: argparse.Namespace) -> None:
     except ValueError as error:
         raise SystemExit(f"serve: {error}")
     extras = []
+    if scenario.fleet:
+        extras.append(f"fleet {scenario.fleet}, routing {scenario.routing}")
     if scenario.autoscaler != "none":
         extras.append(
             f"autoscale {scenario.autoscaler}@{scenario.autoscale_target:g} "
@@ -466,6 +470,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--instances", type=_positive_int, default=None,
         help="replicated accelerator instances",
+    )
+    serve.add_argument(
+        "--fleet", default=None, metavar="SPEC",
+        help="heterogeneous fleet composition, e.g. small:2,large:1 "
+        "(types: small/default/large; overrides --instances)",
+    )
+    serve.add_argument(
+        "--routing", default=None,
+        choices=("shared_queue", "size_affinity", "po2", "tenant_pin"),
+        help="routing policy between admission and the per-type queues "
+        "(default shared_queue)",
     )
     serve.add_argument(
         "--batch", type=_positive_int, default=None,

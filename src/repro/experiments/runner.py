@@ -26,6 +26,7 @@ from repro.experiments.fig7_noc import run_fig7
 from repro.experiments.fig8_fullsystem import run_fig8
 from repro.experiments.fig9_serving import run_fig9
 from repro.experiments.fig10_autoscale import run_fig10
+from repro.experiments.fig11_fleet import run_fig11
 from repro.experiments.tables import table1_parameters, table2_datasets
 
 
@@ -88,6 +89,22 @@ def _fig10(seed: int) -> str:
     return result.table().render() + summary
 
 
+def _fig11(seed: int) -> str:
+    result = run_fig11(seed=seed)
+    het = result.point("het-planned")
+    best = result.best_homogeneous
+    if het.feasible and best is not None:
+        summary = (
+            f"\nplanned fleet [{het.fleet}] meets the SLO at "
+            f"{result.savings:.1%} lower $-rate than the best homogeneous "
+            f"fleet [{best.fleet}] "
+            f"({result.compositions_skipped} costlier compositions skipped)"
+        )
+    else:
+        summary = "\nno feasible heterogeneous composition found"
+    return result.table().render() + summary
+
+
 #: Experiment registry: name -> callable(seed) -> rendered text.
 EXPERIMENTS: dict[str, Callable[[int], str]] = {
     "table1": _table1,
@@ -99,6 +116,7 @@ EXPERIMENTS: dict[str, Callable[[int], str]] = {
     "fig8": _fig8,
     "fig9": _fig9,
     "fig10": _fig10,
+    "fig11": _fig11,
 }
 
 ALL_EXPERIMENTS = tuple(EXPERIMENTS)

@@ -22,13 +22,20 @@ The pieces:
 * :mod:`repro.serve.autoscale` — pluggable fleet controllers
   (target-utilization and queue-depth PID) with cooldowns and instance
   warm-up, closing the loop the capacity planner answers statically.
+* :mod:`repro.serve.fleet` — typed instances (``small``/``default``/
+  ``large``) and heterogeneous fleet compositions with per-type warm-up,
+  batch ceilings, service scaling, and $-cost accounting.
+* :mod:`repro.serve.routing` — pluggable routing between admission and
+  the per-target schedulers: shared queue (the bit-identical default),
+  size affinity, power-of-two-choices, tenant pinning.
 * :mod:`repro.serve.engine` — the priority-queue simulation loop, the
-  dynamic replica pool, and the per-tenant SLO analytics report.
+  dynamic typed fleet, and the per-tenant SLO analytics report.
 * :mod:`repro.serve.scenario` / :mod:`repro.serve.sweep` /
   :mod:`repro.serve.presets` — declarative serving scenarios swept through
   the generic campaign machinery with store-backed caching.
-* :mod:`repro.serve.capacity` — binary-search capacity planning: the
-  minimum fleet meeting a target SLO at a given load.
+* :mod:`repro.serve.capacity` — capacity planning: binary search for the
+  minimum single-type fleet, cost-ordered composition search for the
+  cheapest heterogeneous fleet meeting a target SLO at a given load.
 """
 
 from repro.serve.arrivals import (
@@ -63,12 +70,40 @@ from repro.serve.autoscale import (
     TargetUtilizationAutoscaler,
     make_autoscaler,
 )
-from repro.serve.capacity import CapacityPlan, meets_slo, plan_capacity
+from repro.serve.autoscale import allocate_fleet
+from repro.serve.capacity import (
+    CapacityPlan,
+    FleetPlan,
+    enumerate_fleets,
+    meets_slo,
+    plan_capacity,
+    plan_fleet,
+)
 from repro.serve.engine import (
     ReplicaPool,
     ServingEngine,
     ServingReport,
     TenantReport,
+)
+from repro.serve.fleet import (
+    INSTANCE_TYPES,
+    FleetSpec,
+    InstanceType,
+    TypedReplicaPool,
+    TypeUsage,
+    coerce_fleet,
+    fleet_with_total,
+    get_instance_type,
+)
+from repro.serve.routing import (
+    ROUTING_POLICIES,
+    SHARED,
+    PowerOfTwoRouting,
+    RoutingPolicy,
+    SharedQueueRouting,
+    SizeAffinityRouting,
+    TenantPinRouting,
+    make_routing,
 )
 from repro.serve.presets import (
     SERVING_PRESETS,
@@ -144,4 +179,24 @@ __all__ = [
     "CapacityPlan",
     "plan_capacity",
     "meets_slo",
+    "InstanceType",
+    "INSTANCE_TYPES",
+    "get_instance_type",
+    "FleetSpec",
+    "TypedReplicaPool",
+    "TypeUsage",
+    "coerce_fleet",
+    "fleet_with_total",
+    "allocate_fleet",
+    "RoutingPolicy",
+    "SharedQueueRouting",
+    "SizeAffinityRouting",
+    "PowerOfTwoRouting",
+    "TenantPinRouting",
+    "ROUTING_POLICIES",
+    "SHARED",
+    "make_routing",
+    "FleetPlan",
+    "plan_fleet",
+    "enumerate_fleets",
 ]

@@ -31,12 +31,23 @@ Policies are stateful (cooldown clocks, PID accumulators) and owned by
 one engine run at a time; :meth:`AutoscalerPolicy.reset` re-arms them, and
 the engine calls it at the start of every run so repeated runs of one
 engine stay deterministic.
+
+Policies are *composition-blind*: they answer with a total fleet size
+even when the fleet mixes instance types.  :func:`allocate_fleet` then
+splits that total across the types — proportionally to the declared
+composition, with the remainder (and therefore the marginal scale-out
+instance) going to the cheapest capacity first and the marginal
+scale-in coming off the most expensive capacity first.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (fleet imports us)
+    from repro.serve.fleet import InstanceType
 
 
 @dataclass(frozen=True)
@@ -68,11 +79,17 @@ class FleetSnapshot:
 
 @dataclass(frozen=True)
 class ScalingEvent:
-    """One applied fleet-size change."""
+    """One applied fleet-size change.
+
+    ``per_type`` carries the ``(type name, previous, target)`` split for
+    heterogeneous fleets; it stays empty for the homogeneous default
+    fleet, keeping pre-fleet trajectories unchanged.
+    """
 
     time: float
     previous: int
     target: int
+    per_type: tuple[tuple[str, int, int], ...] = field(default=())
 
     @property
     def delta(self) -> int:
@@ -347,3 +364,57 @@ def make_autoscaler(kind: str, **kwargs) -> AutoscalerPolicy:
             f"unknown autoscaler {kind!r}; choose from {sorted(AUTOSCALERS)}"
         ) from None
     return cls(**kwargs)
+
+
+def allocate_fleet(
+    current: Sequence[int],
+    total: int,
+    types: Sequence["InstanceType"],
+    weights: Sequence[int] | None = None,
+) -> list[int]:
+    """Split a total fleet size across instance types, cost-weighted.
+
+    The base split is largest-remainder apportionment proportional to
+    ``weights`` (the *declared* composition — callers pass it so the mix
+    does not drift as the autoscaler moves the total up and down; it
+    defaults to ``current``).  The integer remainder — which is exactly
+    where the marginal scale-out instance lands and where the marginal
+    scale-in comes from — goes to the cheapest capacity first, ordered by
+    :attr:`~repro.serve.fleet.InstanceType.cost_per_capacity` (ties to
+    declaration order).  Apportioning the target rather than the delta
+    makes the split a pure function of ``(total, weights)``: the same
+    total always yields the same composition, however it was reached.
+
+    A single-type fleet degenerates to ``[total]`` — the pre-fleet
+    scaling behavior, untouched.
+    """
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    if len(current) != len(types):
+        raise ValueError("current and types must align")
+    if len(types) == 1:
+        return [total]
+    weights = list(weights) if weights is not None else list(current)
+    if len(weights) != len(types):
+        raise ValueError("weights and types must align")
+    if any(w < 0 for w in weights):
+        raise ValueError("weights must be non-negative")
+    if sum(weights) == 0:
+        weights = [1] * len(types)
+    scale = sum(weights)
+    counts = [total * w // scale for w in weights]
+    remainder = total - sum(counts)
+    cheap_first = sorted(
+        range(len(types)), key=lambda i: (types[i].cost_per_capacity, i)
+    )
+    while remainder > 0:
+        for i in cheap_first:
+            if remainder == 0:
+                break
+            # Zero-weight slices stay empty: the composition declared
+            # them out, and remainder must not resurrect them.
+            if weights[i] == 0:
+                continue
+            counts[i] += 1
+            remainder -= 1
+    return counts

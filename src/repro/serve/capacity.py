@@ -1,18 +1,33 @@
-"""Capacity planning: the smallest fleet that meets the SLO at a load.
+"""Capacity planning: the cheapest fleet that meets the SLO at a load.
 
-The knob is the replica count; the criterion is the SLO-violation rate
-(fraction of requests slower than the scenario's ``slo_seconds``) staying
-at or under ``max_violation_rate``.  Violation rate is monotonically
-non-increasing in the instance count for a fixed open-loop workload —
-extra replicas only ever drain the queue sooner — which is what makes
-binary search correct here.
+Two planners share the criterion — the SLO-violation rate (fraction of
+requests slower than the scenario's ``slo_seconds``) staying at or under
+``max_violation_rate``:
+
+* :func:`plan_capacity` — the single-type special case.  The knob is one
+  replica count; violation rate is monotonically non-increasing in it for
+  a fixed open-loop workload (extra replicas only ever drain the queue
+  sooner), which is what makes binary search correct here.
+* :func:`plan_fleet` — the heterogeneous generalization.  The knob is a
+  whole *composition* (how many of each instance type) and the objective
+  is the declared $-cost rate, not the instance count.  Cost is known
+  before probing, so the planner enumerates compositions in ascending
+  cost order and the **first** feasible one is the exact optimum — the
+  same answer brute-force enumeration gives, usually at a fraction of the
+  probes.  No dominance pruning across compositions: with routing in the
+  loop the violation rate is *not* monotone in any single type's count
+  (adding a cheap instance can shift the routing split and hurt the
+  tail), so every composition must speak for itself.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import product
 
 from repro.campaign.store import ResultStore
+from repro.serve.fleet import FleetSpec, get_instance_type
+from repro.serve.routing import ROUTING_POLICIES
 from repro.serve.scenario import (
     ServingRecord,
     ServingScenario,
@@ -74,12 +89,14 @@ def plan_capacity(
     max_violation_rate: float = 0.01,
     service: ServiceModel | None = None,
     store: ResultStore | None = None,
+    instance_type: str = "default",
 ) -> CapacityPlan:
     """Binary-search the minimum instance count meeting the SLO.
 
     Evaluates the scenario at each probed fleet size (the scenario's own
-    ``instances`` field is overridden).  Returns a plan whose
-    ``instances`` is the smallest count with
+    ``instances``/``fleet`` fields are overridden; ``instance_type``
+    picks which single type the fleet is built from).  Returns a plan
+    whose ``instances`` is the smallest count with
     ``slo_violation_rate <= max_violation_rate``, or ``None`` when even
     ``max_instances`` misses it.
 
@@ -94,6 +111,7 @@ def plan_capacity(
         raise ValueError(f"max_instances must be >= 1, got {max_instances}")
     if not 0 <= max_violation_rate <= 1:
         raise ValueError("max_violation_rate must be in [0, 1]")
+    get_instance_type(instance_type)  # fail fast on unknown names
 
     evaluated: dict[int, ServingRecord] = {}
 
@@ -102,7 +120,14 @@ def plan_capacity(
         if record is None:
             record = run_serving_scenario(
                 scenario_with(
-                    scenario, instances=n, autoscaler="none", admission="none"
+                    scenario,
+                    instances=n,
+                    fleet=(
+                        "" if instance_type == "default"
+                        else f"{instance_type}:{n}"
+                    ),
+                    autoscaler="none",
+                    admission="none",
                 ),
                 service=service,
                 store=store,
@@ -130,4 +155,170 @@ def plan_capacity(
         max_violation_rate=max_violation_rate,
         instances=lo,
         evaluated=evaluated,
+    )
+
+
+@dataclass(frozen=True)
+class FleetPlan:
+    """Outcome of one fleet-composition search."""
+
+    scenario: ServingScenario
+    max_violation_rate: float
+    routing: str
+    fleet: str | None  # None: no searched composition meets the SLO
+    cost_rate: float | None  # $/s of the winning composition
+    evaluated: dict[str, ServingRecord]  # keyed by canonical fleet string
+    skipped: int  # compositions never probed thanks to the early stop
+
+    @property
+    def feasible(self) -> bool:
+        """Whether any searched composition met the SLO."""
+        return self.fleet is not None
+
+    @property
+    def record(self) -> ServingRecord | None:
+        """The serving record at the planned composition."""
+        if self.fleet is None:
+            return None
+        return self.evaluated[self.fleet]
+
+    def render(self) -> str:
+        """Human-readable probe table, cheapest first, minimum marked."""
+        lines = [
+            f"fleet plan for {self.scenario.display_label} "
+            f"[{self.routing}] (SLO {self.scenario.slo_seconds * 1e3:.1f} ms, "
+            f"violations <= {self.max_violation_rate:.1%}):"
+        ]
+        by_cost = sorted(
+            self.evaluated.items(),
+            key=lambda item: (FleetSpec.parse(item[0]).cost_rate(), item[0]),
+        )
+        for fleet, r in by_cost:
+            marker = " <-- minimum" if fleet == self.fleet else ""
+            lines.append(
+                f"  {fleet:<24} ${FleetSpec.parse(fleet).cost_rate():6.2f}/s: "
+                f"p99 {r.p99_latency_seconds * 1e3:8.2f} ms, violations "
+                f"{r.slo_violation_rate:7.2%}{marker}"
+            )
+        if self.fleet is None:
+            lines.append("  infeasible within the searched compositions")
+        elif self.skipped:
+            lines.append(
+                f"  ({self.skipped} costlier composition(s) skipped: the "
+                f"cheapest feasible fleet was already found)"
+            )
+        return "\n".join(lines)
+
+
+def enumerate_fleets(
+    candidate_types: tuple[str, ...],
+    max_per_type: int,
+    max_total: int | None = None,
+) -> list[FleetSpec]:
+    """Every composition over the candidates, cheapest declared cost first.
+
+    Counts run 0..``max_per_type`` per type, but zero-count slices are
+    dropped rather than declared: a declared-but-empty type would still
+    attract routed requests (e.g. size-affinity steering large graphs to
+    an empty fast queue) and starve them forever.  Order is ascending
+    ``(cost_rate, counts)`` — deterministic, and the reason the planner's
+    first feasible hit is the global optimum.
+    """
+    specs = []
+    for counts in product(range(max_per_type + 1), repeat=len(candidate_types)):
+        total = sum(counts)
+        if total < 1 or (max_total is not None and total > max_total):
+            continue
+        specs.append(
+            FleetSpec(
+                slices=tuple(
+                    (name, count)
+                    for name, count in zip(candidate_types, counts)
+                    if count > 0
+                )
+            )
+        )
+    specs.sort(
+        key=lambda spec: (
+            spec.cost_rate(),
+            tuple(spec.counts().get(name, 0) for name in candidate_types),
+        )
+    )
+    return specs
+
+
+def plan_fleet(
+    scenario: ServingScenario,
+    candidate_types: tuple[str, ...] = ("small", "default", "large"),
+    max_per_type: int = 4,
+    max_total: int | None = None,
+    max_violation_rate: float = 0.01,
+    routing: str = "size_affinity",
+    service: ServiceModel | None = None,
+    store: ResultStore | None = None,
+) -> FleetPlan:
+    """Find the cheapest fleet composition meeting the SLO.
+
+    Enumerates every composition of ``candidate_types`` (each type
+    0..``max_per_type`` instances, at least one instance overall,
+    optionally capped at ``max_total``) in ascending declared-cost order
+    and probes each against the scenario's workload under ``routing``
+    until one meets the violation budget.  Because cost is a pure
+    function of the composition, the first feasible probe *is* the
+    brute-force minimum; the remaining costlier compositions are never
+    simulated (``skipped`` counts them).
+
+    Probes run open-loop with a static fleet for the same reason
+    :func:`plan_capacity`'s do — the plan is the static answer.
+    """
+    if not candidate_types:
+        raise ValueError("need at least one candidate type")
+    for name in candidate_types:
+        get_instance_type(name)
+    if len(set(candidate_types)) != len(candidate_types):
+        raise ValueError("candidate types must be distinct")
+    if max_per_type < 1:
+        raise ValueError(f"max_per_type must be >= 1, got {max_per_type}")
+    if max_total is not None and max_total < 1:
+        raise ValueError(f"max_total must be >= 1, got {max_total}")
+    if not 0 <= max_violation_rate <= 1:
+        raise ValueError("max_violation_rate must be in [0, 1]")
+    if routing not in ROUTING_POLICIES:
+        raise ValueError(
+            f"unknown routing policy {routing!r}; "
+            f"choose from {sorted(ROUTING_POLICIES)}"
+        )
+
+    specs = enumerate_fleets(candidate_types, max_per_type, max_total)
+    evaluated: dict[str, ServingRecord] = {}
+    winner: str | None = None
+    cost_rate: float | None = None
+    skipped = 0
+    for i, spec in enumerate(specs):
+        fleet = spec.render()
+        record = run_serving_scenario(
+            scenario_with(
+                scenario,
+                fleet=fleet,
+                routing=routing,
+                autoscaler="none",
+                admission="none",
+            ),
+            service=service,
+            store=store,
+        )
+        evaluated[fleet] = record
+        if meets_slo(record, max_violation_rate):
+            winner = fleet
+            cost_rate = spec.cost_rate()
+            skipped = len(specs) - i - 1
+            break
+    return FleetPlan(
+        scenario=scenario,
+        max_violation_rate=max_violation_rate,
+        routing=routing,
+        fleet=winner,
+        cost_rate=cost_rate,
+        evaluated=evaluated,
+        skipped=skipped,
     )

@@ -1,4 +1,4 @@
-"""Discrete-event serving simulation: arrivals -> admission -> batches -> replicas.
+"""Discrete-event serving simulation: arrivals -> admission -> routing -> batches -> fleet.
 
 Same priority-queue idiom as the NoC event engine
 (:mod:`repro.noc.events`): a heap of timestamped events, cost scaling
@@ -11,13 +11,13 @@ kinds:
 * ``WARMED`` — a scaled-out instance finished its warm-up delay and joins
   the serving pool.
 * ``ARRIVE`` — a request reaches the admission controller; if admitted it
-  joins the scheduler queue (and arms its max-wait deadline), otherwise
-  it is shed on the spot or tarpitted and retried later.
+  is routed to a scheduler queue (and arms its max-wait deadline),
+  otherwise it is shed on the spot or tarpitted and retried later.
 * ``TIMEOUT`` — a queued request's deadline passed: dispatch whatever is
   waiting if a replica is free.
 * ``AUTOSCALE`` — the autoscaler's evaluation tick: the policy sees a
   :class:`~repro.serve.autoscale.FleetSnapshot` and may grow or shrink
-  the replica pool.
+  the fleet.
 
 Events at the same instant process departures first (a freed replica can
 serve a batch formed in the same instant), then warm-ups, arrivals, and
@@ -25,19 +25,31 @@ timeouts, with the autoscaler observing the settled state last; within a
 kind, insertion order breaks ties — the whole simulation is a
 deterministic function of the seeded inputs.
 
-The replica pool itself is dynamic (:class:`ReplicaPool`): scale-out
-provisions instances that bill immediately but serve only after their
-warm-up, and scale-in retires idle instances at once while busy ones
-drain their current batch first.  Billed capacity integrates into the
-report's ``instance_seconds`` — the number the autoscaler exists to
-shrink.
+The fleet is a :class:`~repro.serve.fleet.TypedReplicaPool`: one or more
+instance types (:mod:`repro.serve.fleet`), each with its own batch
+ceiling, service-time scale, warm-up, and $-cost rate.  A
+:class:`~repro.serve.routing.RoutingPolicy` sits between admission and
+the per-target :class:`~repro.serve.scheduler.BatchingScheduler` queues:
+it assigns each admitted request to a target queue and tells each
+instance type which targets it drains.  The homogeneous default — one
+``default`` type behind the single shared queue — reproduces the
+pre-fleet engine *bit-identically*; the regression baseline pins that.
+
+Scale-out provisions instances that bill immediately but serve only
+after their warm-up, and scale-in retires idle instances at once while
+busy ones drain their current batch first.  Billed capacity integrates
+into the report's ``instance_seconds`` — and, weighted by each type's
+``cost_per_second``, into ``cost_dollars``, the number the
+fleet-composition planner minimizes.
 
 The output :class:`ServingReport` carries the SLO analytics: per-tenant
 latency percentiles (via the shared
 :func:`repro.noc.stats.summarize_latencies`), throughput, queue depths,
 replica utilization, SLO-violation rates, windowed burn-rate analytics
-(:class:`~repro.obs.slo.SloBurnReport`), and — when the corresponding
-controller is attached — autoscaling and admission tallies.
+(:class:`~repro.obs.slo.SloBurnReport`), per-type fleet usage
+(:class:`~repro.serve.fleet.TypeUsage`) for heterogeneous runs, and —
+when the corresponding controller is attached — autoscaling and
+admission tallies.
 
 Telemetry is injected, never hard-wired: the engine accepts an optional
 :class:`~repro.obs.trace.TraceRecorder` (per-request lifecycle spans), a
@@ -48,7 +60,9 @@ filled at report time), and a :class:`~repro.obs.metrics.Sampler`
 attribute check per run, not per event.  Latency distributions go
 through :mod:`repro.obs.sketch` — the ``"exact"`` backend keeps reports
 bit-identical to the pre-telemetry engine, ``"p2"`` keeps memory
-constant at web scale.
+constant at web scale.  Heterogeneous runs additionally export per-type
+gauges and sampler columns; the homogeneous default exports exactly what
+it always did.
 """
 
 from __future__ import annotations
@@ -82,154 +96,29 @@ from repro.serve.autoscale import (
     FleetSnapshot,
     ScalingEvent,
 )
-from repro.serve.scheduler import BatchingScheduler
+from repro.serve.fleet import (
+    FleetSpec,
+    ReplicaPool,
+    TypedReplicaPool,
+    TypeUsage,
+    coerce_fleet,
+)
+from repro.serve.routing import ROUTING_POLICIES, make_routing
+from repro.serve.scheduler import BatchingScheduler, SchedulerGroup
 from repro.serve.service import ServiceModel
+
+__all__ = [
+    "ReplicaPool",  # moved to repro.serve.fleet; re-exported for compat
+    "ServingEngine",
+    "ServingReport",
+    "TenantReport",
+]
 
 _DEPART = 0
 _WARMED = 1
 _ARRIVE = 2
 _TIMEOUT = 3
 _AUTOSCALE = 4
-
-
-class ReplicaPool:
-    """A dynamic set of replica instances with warm-up and draining.
-
-    Instances move through four states: *warming* (provisioned, billed,
-    not yet serving), *free* (idle, dispatchable), *busy* (occupied by a
-    batch), and *retiring* (busy, will leave the pool when the batch
-    finishes instead of returning to free).  ``provisioned`` counts
-    everything billed; ``target_size`` excludes retiring instances — it
-    is the size the pool is converging to and what the autoscaler reasons
-    about.
-
-    Scale-in removes the cheapest capacity first: instances still warming
-    (nothing lost), then idle ones, and only then does it mark busy
-    instances to retire on departure.  Scale-out conversely rescues
-    retiring instances before provisioning cold ones — a draining replica
-    is already warm.  All choices are by instance id, so the pool is
-    deterministic.
-    """
-
-    def __init__(self, instances: int, warmup_seconds: float = 0.0) -> None:
-        if instances < 1:
-            raise ValueError(f"need at least one instance, got {instances}")
-        if warmup_seconds < 0:
-            raise ValueError("warm-up must be non-negative")
-        self.warmup_seconds = warmup_seconds
-        self._free: list[int] = list(range(instances))
-        heapq.heapify(self._free)
-        self._busy: set[int] = set()
-        self._retiring: set[int] = set()
-        self._warming: dict[int, float] = {}
-        self._next_id = instances
-        #: Instances the most recent :meth:`scale_to` rescued from
-        #: draining (already warm, so they rejoin without a warm-up) —
-        #: what the trace recorder reports as ``rescue`` events.
-        self.last_rescued: tuple[int, ...] = ()
-
-    # ------------------------------------------------------------------
-    # State
-    # ------------------------------------------------------------------
-    @property
-    def provisioned(self) -> int:
-        """Billed instances: warming + free + busy (retiring included)."""
-        return len(self._free) + len(self._busy) + len(self._warming)
-
-    @property
-    def target_size(self) -> int:
-        """Where the pool is heading once retiring instances drain."""
-        return self.provisioned - len(self._retiring)
-
-    @property
-    def ready_count(self) -> int:
-        """Instances able to serve now (free + busy)."""
-        return len(self._free) + len(self._busy)
-
-    @property
-    def busy_count(self) -> int:
-        return len(self._busy)
-
-    @property
-    def warming_count(self) -> int:
-        return len(self._warming)
-
-    @property
-    def retiring_count(self) -> int:
-        return len(self._retiring)
-
-    def has_free(self) -> bool:
-        return bool(self._free)
-
-    # ------------------------------------------------------------------
-    # Dispatch lifecycle
-    # ------------------------------------------------------------------
-    def acquire(self) -> int:
-        """Take the lowest-id free instance for a batch."""
-        instance = heapq.heappop(self._free)
-        self._busy.add(instance)
-        return instance
-
-    def release(self, instance: int) -> bool:
-        """Return a finished instance; ``False`` when it retires instead."""
-        self._busy.discard(instance)
-        if instance in self._retiring:
-            self._retiring.discard(instance)
-            return False
-        heapq.heappush(self._free, instance)
-        return True
-
-    def warmed(self, instance: int) -> bool:
-        """Promote a warmed instance to free (``False`` if it was
-        cancelled by a scale-in while still warming)."""
-        if instance not in self._warming:
-            return False
-        del self._warming[instance]
-        heapq.heappush(self._free, instance)
-        return True
-
-    # ------------------------------------------------------------------
-    # Scaling
-    # ------------------------------------------------------------------
-    def scale_to(self, target: int, now: float) -> list[tuple[int, float]]:
-        """Move the pool's ``target_size`` to ``target``.
-
-        Returns ``(instance, ready_time)`` for each newly provisioned
-        instance so the engine can schedule its warm-up completion
-        (``ready_time == now`` when there is no warm-up delay).
-        """
-        if target < 1:
-            raise ValueError(f"cannot scale below one instance, got {target}")
-        started: list[tuple[int, float]] = []
-        rescued: list[int] = []
-        # Grow: rescue draining instances first — they are already warm.
-        while self.target_size < target and self._retiring:
-            instance = min(self._retiring)
-            self._retiring.discard(instance)
-            rescued.append(instance)
-        self.last_rescued = tuple(rescued)
-        while self.target_size < target:
-            instance = self._next_id
-            self._next_id += 1
-            if self.warmup_seconds > 0:
-                ready_at = now + self.warmup_seconds
-                self._warming[instance] = ready_at
-                started.append((instance, ready_at))
-            else:
-                heapq.heappush(self._free, instance)
-                started.append((instance, now))
-        # Shrink: cancel warm-ups, then idle instances, then drain busy ones.
-        while self.target_size > target and self._warming:
-            del self._warming[max(self._warming)]
-        while self.target_size > target and self._free:
-            self._free.remove(max(self._free))
-            heapq.heapify(self._free)
-        while self.target_size > target:
-            candidates = self._busy - self._retiring
-            if not candidates:
-                break
-            self._retiring.add(max(candidates))
-        return started
 
 
 @dataclass(frozen=True)
@@ -251,7 +140,11 @@ class ServingReport:
     fleet varies over time and ``instance_seconds`` (billed capacity
     integrated over the serving window) plus the ``autoscale`` trajectory
     tell the full story.  ``admission`` is ``None`` unless an admission
-    controller gated the run.
+    controller gated the run.  ``cost_dollars`` prices the billed
+    capacity by each type's ``cost_per_second`` (for the homogeneous
+    default fleet it equals ``instance_seconds`` at $1/s); ``per_type``
+    breaks usage down by instance type and is empty for the homogeneous
+    default fleet.
     """
 
     horizon_seconds: float
@@ -274,6 +167,10 @@ class ServingReport:
     autoscale: AutoscaleStats | None = None
     admission: AdmissionStats | None = None
     burn: SloBurnReport | None = None
+    fleet: str = ""
+    routing: str = "shared_queue"
+    cost_dollars: float = 0.0
+    per_type: tuple[TypeUsage, ...] = ()
 
     def render(self) -> str:
         """Human-readable multi-line summary (what the CLI prints)."""
@@ -319,6 +216,21 @@ class ServingReport:
                     else ""
                 )
                 lines.append(f"  trajectory: {steps}{suffix}")
+        if self.per_type:
+            # Typed fleets only: the homogeneous default render is pinned
+            # bit-identical to the pre-fleet engine.
+            lines.append(
+                f"fleet [{self.fleet}] routing {self.routing}: "
+                f"cost ${self.cost_dollars:.4f} for "
+                f"{self.instance_seconds:.3f} instance-s"
+            )
+            for u in self.per_type:
+                lines.append(
+                    f"  {u.name:<8} x{u.initial}->{u.final} "
+                    f"(peak {u.peak})  batches {u.batches}  "
+                    f"served {u.completed}  inst-s {u.instance_seconds:.3f}"
+                    f"  ${u.cost_dollars:.4f}"
+                )
         if self.burn is not None:
             lines.extend(self.burn.render())
         if self.admission is not None:
@@ -336,7 +248,13 @@ class ServingReport:
         return "\n".join(lines)
 
 
-def _empty_report(instances: int, slo_seconds: float, horizon: float) -> ServingReport:
+def _empty_report(
+    instances: int,
+    slo_seconds: float,
+    horizon: float,
+    fleet: str = "",
+    routing: str = "shared_queue",
+) -> ServingReport:
     return ServingReport(
         horizon_seconds=horizon,
         makespan_seconds=0.0,
@@ -355,27 +273,37 @@ def _empty_report(instances: int, slo_seconds: float, horizon: float) -> Serving
         tenants={},
         instance_seconds=0.0,
         peak_instances=instances,
+        fleet=fleet,
+        routing=routing,
     )
 
 
 class ServingEngine:
-    """Drive a scheduler + service model + replica pool over a workload.
+    """Drive schedulers + service model + a typed fleet over a workload.
 
     Args:
         scheduler: the batching scheduler owning the admission queue.
-        service: per-batch service-time model.
+            With multi-target routing it becomes the first target's queue
+            and prototype — each further target gets an identically
+            configured :meth:`~repro.serve.scheduler.BatchingScheduler
+            .spawn`.
+        service: per-batch service-time model (each instance type scales
+            it by its ``service_scale``).
         instances: initial replica count (the *whole* fleet when no
-            autoscaler is attached).
+            autoscaler is attached).  Ignored when ``fleet`` is given —
+            the spec's total wins.
         slo_seconds: per-request latency target for violation accounting.
         autoscaler: optional :class:`~repro.serve.autoscale
-            .AutoscalerPolicy` evaluated on a fixed cadence; the replica
-            pool then grows and shrinks mid-simulation.
+            .AutoscalerPolicy` evaluated on a fixed cadence; the fleet
+            then grows and shrinks mid-simulation (the policy answers
+            with a total; :func:`~repro.serve.autoscale.allocate_fleet`
+            splits it across types, cheapest capacity first).
         admission: optional :class:`~repro.serve.admission
             .AdmissionController` gating every arrival before it may
-            enter the scheduler queue.
+            enter a scheduler queue.
         warmup_seconds: provisioning delay for scaled-out instances (they
             bill immediately, serve only once warm; the initial fleet
-            starts warm).
+            starts warm).  Instance types may override it per type.
         recorder: optional :class:`~repro.obs.trace.TraceRecorder`
             receiving per-request lifecycle spans.  A recorder whose
             ``enabled`` is false (the :class:`~repro.obs.trace
@@ -394,6 +322,16 @@ class ServingEngine:
             allowed to violate) the burn-rate analytics measure against.
         burn_window_seconds: burn-rate window width; ``0`` picks an
             eighth of the run horizon automatically.
+        fleet: optional typed-fleet composition — a
+            :class:`~repro.serve.fleet.FleetSpec` or its string form
+            (``"small:2,large:1"``).  ``None`` keeps the homogeneous
+            ``default`` fleet of ``instances``, which is bit-identical to
+            the pre-fleet engine.
+        routing: routing-policy name from
+            :data:`~repro.serve.routing.ROUTING_POLICIES` (default
+            ``shared_queue``; single-target policies leave the engine on
+            the shared-queue fast path).
+        routing_seed: seed for randomized routing policies (po2).
     """
 
     def __init__(
@@ -411,8 +349,11 @@ class ServingEngine:
         metrics_backend: str = "exact",
         violation_budget: float = 0.01,
         burn_window_seconds: float = 0.0,
+        fleet: FleetSpec | str | None = None,
+        routing: str = "shared_queue",
+        routing_seed: int = 0,
     ) -> None:
-        if instances < 1:
+        if fleet is None and instances < 1:
             raise ValueError(f"need at least one instance, got {instances}")
         if slo_seconds <= 0:
             raise ValueError(f"SLO must be positive, got {slo_seconds}")
@@ -430,9 +371,15 @@ class ServingEngine:
             )
         if burn_window_seconds < 0:
             raise ValueError("burn window must be non-negative")
+        if routing not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown routing policy {routing!r}; "
+                f"choose from {sorted(ROUTING_POLICIES)}"
+            )
         self.scheduler = scheduler
         self.service = service
-        self.instances = instances
+        self.fleet_spec = coerce_fleet(fleet, instances)
+        self.instances = self.fleet_spec.total()
         self.slo_seconds = slo_seconds
         self.autoscaler = autoscaler
         self.admission = admission
@@ -443,6 +390,8 @@ class ServingEngine:
         self.metrics_backend = metrics_backend
         self.violation_budget = violation_budget
         self.burn_window_seconds = burn_window_seconds
+        self.routing = routing
+        self.routing_seed = routing_seed
 
     def run(
         self,
@@ -467,7 +416,6 @@ class ServingEngine:
         if horizon_seconds is not None and horizon_seconds <= 0:
             raise ValueError("horizon must be positive")
 
-        scheduler = self.scheduler
         autoscaler = self.autoscaler
         admission = self.admission
         if autoscaler is not None:
@@ -481,6 +429,13 @@ class ServingEngine:
             nonlocal seq
             heapq.heappush(events, (time, kind, seq, payload))
             seq += 1
+
+        fleet = TypedReplicaPool(
+            self.fleet_spec, default_warmup_seconds=self.warmup_seconds
+        )
+        typed = fleet.is_typed
+        slices = fleet.slices
+        fleet_label = self.fleet_spec.render() if typed else ""
 
         initial = (
             list(requests) if requests is not None else closed_loop.initial_requests()
@@ -497,7 +452,41 @@ class ServingEngine:
             (r.arrival_time for r in initial), default=0.0
         )
         if not events:
-            return _empty_report(self.instances, self.slo_seconds, horizon)
+            return _empty_report(
+                self.instances,
+                self.slo_seconds,
+                horizon,
+                fleet=fleet_label,
+                routing=self.routing,
+            )
+
+        # The routing layer: one scheduler queue per target, the provided
+        # scheduler serving as the first queue and the prototype for the
+        # rest.  Single-target policies (the shared queue, or any policy
+        # over one type) keep the original one-queue fast path.
+        policy = make_routing(self.routing, fleet.types, seed=self.routing_seed)
+        targets = policy.targets()
+        sched0 = self.scheduler
+        schedulers = {
+            target: (sched0 if i == 0 else sched0.spawn())
+            for i, target in enumerate(targets)
+        }
+        group = SchedulerGroup(schedulers)
+        multi = len(targets) > 1
+        depth_of = group.depth_of
+        max_wait = sched0.max_wait_seconds
+        # Per-slice dispatch plan: each instance type drains its declared
+        # targets in priority order, capped by its own batch ceiling.
+        serve_plan = [
+            (
+                slice_,
+                slice_.pool,
+                slice_.itype.max_batch or None,
+                tuple(schedulers[t] for t in policy.serves(slice_.itype.name)),
+                slice_.itype.service_scale,
+            )
+            for slice_ in slices
+        ]
 
         # Telemetry collaborators.  A disabled recorder resolves to None
         # here, once, so the event loop below never pays for tracing it
@@ -513,11 +502,18 @@ class ServingEngine:
             or max(horizon / 8.0, 1e-9),
         )
 
-        pool = ReplicaPool(self.instances, warmup_seconds=self.warmup_seconds)
+        # Aggregate fleet counts: a single-slice fleet reads its one
+        # ReplicaPool directly (the pre-fleet hot path); multi-slice
+        # fleets pay the summing properties.
+        counts = slices[0].pool if len(slices) == 1 else fleet
         busy_integral = 0.0  # busy instances x time
         pool_integral = 0.0  # provisioned (billed) instances x time
         busy_at_makespan = 0.0
         pool_at_makespan = 0.0
+        usage_at_makespan: tuple[tuple[float, float], ...] = tuple(
+            (0.0, 0.0) for _ in slices
+        )
+        depth_total = 0
         batches = 0
         served = 0
         arrived = 0
@@ -525,8 +521,8 @@ class ServingEngine:
         tenant_sketches: dict[str, object] = {}
         depth_integral = 0.0
         peak_depth = 0
-        peak_pool = pool.provisioned
-        min_pool = pool.provisioned
+        peak_pool = counts.provisioned
+        min_pool = counts.provisioned
         last_time = 0.0
         makespan = 0.0
         scale_events: list[ScalingEvent] = []
@@ -547,33 +543,50 @@ class ServingEngine:
                 offered += 1
 
         def try_dispatch(now: float) -> None:
-            nonlocal batches
-            while pool.has_free() and scheduler.ready(now):
-                batch = scheduler.pop_batch(now)
-                instance = pool.acquire()
-                seconds = self.service.batch_service_seconds(batch.graph_sizes)
-                batches += 1
-                if rec is not None:
-                    for request in batch.requests:
-                        rec.request_event(
-                            now,
-                            SPAN_DISPATCH,
-                            request,
-                            instance=instance,
-                            batch_size=len(batch.requests),
-                            service_seconds=seconds,
-                        )
-                push(now + seconds, _DEPART, (instance, batch))
+            nonlocal batches, depth_total
+            for slice_, pool, limit, scheds, scale in serve_plan:
+                while pool.has_free():
+                    batch = None
+                    for sched in scheds:
+                        if sched.ready(now, limit):
+                            batch = sched.pop_batch(now, limit)
+                            break
+                    if batch is None:
+                        break
+                    depth_total -= len(batch.requests)
+                    handle = fleet.acquire(slice_.index, now)
+                    seconds = self.service.batch_service_seconds(
+                        batch.graph_sizes
+                    )
+                    if scale != 1.0:
+                        seconds *= scale
+                    batches += 1
+                    if rec is not None:
+                        label = fleet.label(handle)
+                        for request in batch.requests:
+                            rec.request_event(
+                                now,
+                                SPAN_DISPATCH,
+                                request,
+                                instance=label,
+                                batch_size=len(batch.requests),
+                                service_seconds=seconds,
+                            )
+                    push(now + seconds, _DEPART, (handle, batch))
 
         def fleet_state() -> dict[str, object]:
-            """What one Sampler row holds (state before the current event)."""
-            return {
-                "ready": pool.ready_count,
-                "warming": pool.warming_count,
-                "busy": pool.busy_count,
-                "retiring": pool.retiring_count,
-                "provisioned": pool.provisioned,
-                "queue_depth": scheduler.queue_depth,
+            """What one Sampler row holds (state before the current event).
+
+            Typed fleets add per-type and per-target columns; the
+            homogeneous default keeps exactly the pre-fleet columns.
+            """
+            state: dict[str, object] = {
+                "ready": counts.ready_count,
+                "warming": counts.warming_count,
+                "busy": counts.busy_count,
+                "retiring": counts.retiring_count,
+                "provisioned": counts.provisioned,
+                "queue_depth": depth_total,
                 "arrived": arrived,
                 "admitted": stats.admitted if stats is not None else arrived,
                 "shed": stats.shed if stats is not None else 0,
@@ -585,13 +598,20 @@ class ServingEngine:
                     else 0.0
                 ),
             }
+            if typed:
+                for s in slices:
+                    state[f"provisioned[{s.itype.name}]"] = s.pool.provisioned
+                    state[f"busy[{s.itype.name}]"] = s.pool.busy_count
+                for target in targets:
+                    state[f"queue_depth[{target}]"] = depth_of(target)
+            return state
 
         while events:
             now, kind, _, payload = heapq.heappop(events)
             dt = now - last_time
-            depth_integral += scheduler.queue_depth * dt
-            busy_integral += pool.busy_count * dt
-            pool_integral += pool.provisioned * dt
+            depth_integral += depth_total * dt
+            busy_integral += counts.busy_count * dt
+            pool_integral += counts.provisioned * dt
             last_time = now
             if sampler is not None and now >= sampler.next_time:
                 sampler.record(now, fleet_state())
@@ -603,8 +623,17 @@ class ServingEngine:
                 makespan = now
                 busy_at_makespan = busy_integral
                 pool_at_makespan = pool_integral
-                instance, batch = payload  # type: ignore[misc]
-                pool.release(instance)
+                handle, batch = payload  # type: ignore[misc]
+                fleet.release(handle, now)
+                if typed:
+                    slices[handle[0]].completed += len(batch.requests)
+                    usage_at_makespan = tuple(
+                        (s.instance_seconds(now), s.busy_seconds(now))
+                        for s in slices
+                    )
+                    label = fleet.label(handle)
+                else:
+                    label = handle[1]
                 for request in batch.requests:
                     latency = now - request.arrival_time
                     sketch = tenant_sketches.get(request.tenant)
@@ -621,7 +650,7 @@ class ServingEngine:
                             now,
                             SPAN_DEPART,
                             request,
-                            instance=instance,
+                            instance=label,
                             latency=latency,
                             violated=violated,
                         )
@@ -629,9 +658,11 @@ class ServingEngine:
                         spawn_follow_up(now)
                 try_dispatch(now)
             elif kind == _WARMED:
-                if pool.warmed(payload):  # type: ignore[arg-type]
+                if fleet.warmed(payload, now):  # type: ignore[arg-type]
                     if rec is not None:
-                        rec.fleet_event(now, FLEET_WARMED, instance=payload)
+                        rec.fleet_event(
+                            now, FLEET_WARMED, instance=fleet.label(payload)
+                        )
                     try_dispatch(now)
             elif kind == _ARRIVE:
                 request = payload  # type: ignore[assignment]
@@ -640,9 +671,7 @@ class ServingEngine:
                     seen_requests.add(request.request_id)
                     rec.request_event(now, SPAN_ARRIVE, request)
                 if admission is not None:
-                    decision = admission.admit(
-                        request.tenant, now, scheduler.queue_depth
-                    )
+                    decision = admission.admit(request.tenant, now, depth_total)
                     if not decision.admitted:
                         retry_at = now + decision.retry_after_seconds
                         if decision.retry_after_seconds > 0 and retry_at < horizon:
@@ -687,33 +716,38 @@ class ServingEngine:
                         )
                 elif rec is not None:
                     rec.request_event(now, SPAN_ADMIT, request, reason="open")
-                scheduler.enqueue(request)
+                if multi:
+                    schedulers[policy.route(request, depth_of)].enqueue(request)
+                else:
+                    sched0.enqueue(request)
+                depth_total += 1
                 if rec is not None:
                     rec.request_event(
                         now,
                         SPAN_ENQUEUE,
                         request,
-                        queue_depth=scheduler.queue_depth,
+                        queue_depth=depth_total,
                     )
-                peak_depth = max(peak_depth, scheduler.queue_depth)
-                if scheduler.max_wait_seconds > 0:
-                    push(now + scheduler.max_wait_seconds, _TIMEOUT, None)
+                if depth_total > peak_depth:
+                    peak_depth = depth_total
+                if max_wait > 0:
+                    push(now + max_wait, _TIMEOUT, None)
                 try_dispatch(now)
             elif kind == _TIMEOUT:
                 # The queue head may have exceeded its wait.
                 try_dispatch(now)
-            else:  # _AUTOSCALE: observe the interval, maybe resize the pool.
+            else:  # _AUTOSCALE: observe the interval, maybe resize the fleet.
                 interval_busy = busy_integral - tick_busy_mark
                 interval_pool = pool_integral - tick_pool_mark
                 tick_busy_mark = busy_integral
                 tick_pool_mark = pool_integral
                 snapshot = FleetSnapshot(
                     now=now,
-                    provisioned=pool.target_size,
-                    ready=pool.ready_count,
-                    busy=pool.busy_count,
-                    warming=pool.warming_count,
-                    queue_depth=scheduler.queue_depth,
+                    provisioned=counts.target_size,
+                    ready=counts.ready_count,
+                    busy=counts.busy_count,
+                    warming=counts.warming_count,
+                    queue_depth=depth_total,
                     utilization=(
                         min(interval_busy / interval_pool, 1.0)
                         if interval_pool > 0
@@ -722,27 +756,41 @@ class ServingEngine:
                 )
                 target = autoscaler.decide(snapshot)
                 if target != snapshot.provisioned:
-                    for instance, ready_at in pool.scale_to(target, now):
+                    for handle, ready_at in fleet.scale_to(target, now):
                         if ready_at > now:
-                            push(ready_at, _WARMED, instance)
+                            push(ready_at, _WARMED, handle)
                     if rec is not None:
-                        rec.fleet_event(
-                            now,
-                            FLEET_SCALE,
-                            previous=snapshot.provisioned,
-                            target=target,
-                        )
-                        for instance in pool.last_rescued:
-                            rec.fleet_event(now, FLEET_RESCUE, instance=instance)
+                        if typed:
+                            rec.fleet_event(
+                                now,
+                                FLEET_SCALE,
+                                previous=snapshot.provisioned,
+                                target=target,
+                                per_type=[
+                                    list(row) for row in fleet.last_scale_detail
+                                ],
+                            )
+                        else:
+                            rec.fleet_event(
+                                now,
+                                FLEET_SCALE,
+                                previous=snapshot.provisioned,
+                                target=target,
+                            )
+                        for label in fleet.last_rescued:
+                            rec.fleet_event(now, FLEET_RESCUE, instance=label)
                     scale_events.append(
                         ScalingEvent(
-                            time=now, previous=snapshot.provisioned, target=target
+                            time=now,
+                            previous=snapshot.provisioned,
+                            target=target,
+                            per_type=fleet.last_scale_detail if typed else (),
                         )
                     )
                     try_dispatch(now)
-                peak_pool = max(peak_pool, pool.provisioned)
-                min_pool = min(min_pool, pool.target_size)
-                if events or scheduler.queue_depth > 0 or pool.busy_count > 0:
+                peak_pool = max(peak_pool, counts.provisioned)
+                min_pool = min(min_pool, counts.target_size)
+                if events or depth_total > 0 or counts.busy_count > 0:
                     push(now + autoscaler.interval_seconds, _AUTOSCALE, None)
 
         if stats is not None:
@@ -758,7 +806,7 @@ class ServingEngine:
                 policy=autoscaler.kind,
                 peak_instances=peak_pool,
                 min_instances=min_pool,
-                final_instances=pool.target_size,
+                final_instances=counts.target_size,
                 scale_out_events=sum(1 for e in scale_events if e.delta > 0),
                 scale_in_events=sum(1 for e in scale_events if e.delta < 0),
                 events=tuple(scale_events),
@@ -766,6 +814,30 @@ class ServingEngine:
             if autoscaler is not None
             else None
         )
+        # Per-type usage + $-cost.  The homogeneous default fleet bills
+        # $1/s, so its cost is exactly the instance-seconds integral and
+        # the per-type breakdown stays empty (pre-fleet reports pinned).
+        if typed:
+            per_type = tuple(
+                TypeUsage(
+                    name=s.itype.name,
+                    initial=self.fleet_spec.slices[i][1],
+                    peak=s.peak,
+                    final=s.pool.target_size,
+                    instance_seconds=usage_at_makespan[i][0],
+                    busy_seconds=usage_at_makespan[i][1],
+                    cost_dollars=(
+                        usage_at_makespan[i][0] * s.itype.cost_per_second
+                    ),
+                    batches=s.batches,
+                    completed=s.completed,
+                )
+                for i, s in enumerate(slices)
+            )
+            cost_dollars = sum(u.cost_dollars for u in per_type)
+        else:
+            per_type = ()
+            cost_dollars = pool_at_makespan
         registry = self.registry
         if registry is not None:
             registry.counter("requests_offered").inc(offered)
@@ -779,9 +851,22 @@ class ServingEngine:
                 registry.counter("admission_tarpitted").inc(stats.tarpitted)
             registry.gauge("peak_queue_depth").set(peak_depth)
             registry.gauge("peak_instances").set(peak_pool)
-            registry.gauge("final_instances").set(pool.target_size)
+            registry.gauge("final_instances").set(counts.target_size)
             registry.gauge("instance_seconds").set(pool_at_makespan)
             registry.gauge("makespan_seconds").set(makespan)
+            if typed:
+                registry.gauge("cost_dollars").set(cost_dollars)
+                for u in per_type:
+                    registry.gauge(f"instance_seconds[{u.name}]").set(
+                        u.instance_seconds
+                    )
+                    registry.gauge(f"peak_instances[{u.name}]").set(u.peak)
+                    registry.counter(f"requests_completed[{u.name}]").inc(
+                        u.completed
+                    )
+                    registry.counter(f"batches_dispatched[{u.name}]").inc(
+                        u.batches
+                    )
             registry.attach_histogram("latency_seconds", overall_sketch)
             for tenant in sorted(tenant_sketches):
                 registry.attach_histogram(
@@ -803,6 +888,9 @@ class ServingEngine:
             burn=burn,
             autoscale=autoscale_stats,
             admission_stats=stats,
+            fleet_label=fleet_label,
+            cost_dollars=cost_dollars,
+            per_type=per_type,
         )
 
     def _report(
@@ -822,6 +910,9 @@ class ServingEngine:
         burn: BurnRateTracker,
         autoscale: AutoscaleStats | None,
         admission_stats: AdmissionStats | None,
+        fleet_label: str = "",
+        cost_dollars: float = 0.0,
+        per_type: tuple[TypeUsage, ...] = (),
     ) -> ServingReport:
         window = makespan if makespan > 0 else 1.0
         tenants: dict[str, TenantReport] = {}
@@ -858,4 +949,8 @@ class ServingEngine:
             autoscale=autoscale,
             admission=admission_stats,
             burn=burn.report(),
+            fleet=fleet_label,
+            routing=self.routing,
+            cost_dollars=cost_dollars,
+            per_type=per_type,
         )

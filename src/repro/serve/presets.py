@@ -123,6 +123,32 @@ def _build_presets() -> dict[str, CampaignSpec]:
                 "the fleet's capacity — shed rate buys bounded tails"
             ),
         ),
+        "fleet": CampaignSpec(
+            name="fleet",
+            base=ServingScenario(
+                dataset="ppi",
+                scale=0.05,
+                arrival="mmpp",
+                qps=200.0,
+                duration_seconds=1.0,
+                num_tenants=2,
+                max_batch=8,
+                seed=0,
+            ),
+            axes=(
+                (
+                    "fleet",
+                    ("default:3", "small:2,large:1", "small:4", "large:2"),
+                ),
+                ("routing", ("shared_queue", "size_affinity")),
+            ),
+            description=(
+                "heterogeneous-fleet study under bursty traffic: "
+                "compositions of small/default/large instances crossed "
+                "with shared-queue vs size-affinity routing — compare "
+                "p99 against $-cost"
+            ),
+        ),
     }
 
 

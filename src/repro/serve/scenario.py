@@ -30,6 +30,8 @@ from repro.serve.arrivals import (
 )
 from repro.serve.autoscale import AUTOSCALERS, AutoscalerPolicy, make_autoscaler
 from repro.serve.engine import ServingEngine, ServingReport
+from repro.serve.fleet import FleetSpec
+from repro.serve.routing import ROUTING_POLICIES
 from repro.serve.scheduler import POLICIES, BatchingScheduler
 from repro.serve.service import AcceleratorServiceModel, ServiceModel
 from repro.utils.hashing import stable_digest
@@ -40,7 +42,9 @@ from repro.utils.hashing import stable_digest
 #: instance-seconds accounting, shed/tarpit tallies).
 #: v3: telemetry — sketch-backed latency accounting, SLO burn-rate
 #: analytics (new scenario knobs + burn fields on the record).
-SERVE_SCHEMA_VERSION = 3
+#: v4: heterogeneous fleets — typed instances, routing policies, $-cost
+#: accounting (``fleet``/``routing`` knobs; records gain cost fields).
+SERVE_SCHEMA_VERSION = 4
 
 
 @dataclass(frozen=True)
@@ -58,7 +62,14 @@ class ServingScenario:
         max_wait_seconds: scheduler deadline for the oldest queued request.
         policy: batch composition (``fifo``/``wfq``).
         instances: replicated accelerator instances (the *initial* fleet
-            when an autoscaler is attached).
+            when an autoscaler is attached).  When ``fleet`` is set this
+            is normalized to the spec's total.
+        fleet: typed-fleet composition in the CLI string form
+            (``"small:2,large:1"``); empty keeps the homogeneous
+            ``default`` fleet of ``instances`` — the pre-fleet model.
+        routing: routing-policy name (one of
+            :data:`~repro.serve.routing.ROUTING_POLICIES`); the default
+            ``shared_queue`` keeps the single pre-routing queue.
         slo_seconds: per-request latency target for violation accounting.
         seed: RNG seed for arrivals and service-model calibration.
         autoscaler: fleet controller — ``none`` (static fleet),
@@ -101,6 +112,8 @@ class ServingScenario:
     max_wait_seconds: float = 0.005
     policy: str = "fifo"
     instances: int = 2
+    fleet: str = ""
+    routing: str = "shared_queue"
     slo_seconds: float = 0.05
     seed: int = 0
     autoscaler: str = "none"
@@ -141,6 +154,18 @@ class ServingScenario:
             raise ValueError("max_wait_seconds must be non-negative")
         if self.policy not in POLICIES:
             raise ValueError(f"policy must be one of {POLICIES}")
+        if self.fleet:
+            # Normalize: canonical string form, and the fleet's total wins
+            # over any separately-supplied instance count (so labels,
+            # clamp-band checks, and content hashes all agree).
+            spec = FleetSpec.parse(self.fleet)
+            object.__setattr__(self, "fleet", spec.render())
+            object.__setattr__(self, "instances", spec.total())
+        if self.routing not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown routing policy {self.routing!r}; "
+                f"choose from {sorted(ROUTING_POLICIES)}"
+            )
         if self.instances < 1:
             raise ValueError("need at least one instance")
         if self.slo_seconds <= 0:
@@ -204,6 +229,11 @@ class ServingScenario:
         """Readable name derived from the discriminating knobs."""
         parts = [self.arrival, f"q{self.qps:g}", f"b{self.max_batch}",
                  f"i{self.instances}"]
+        if self.fleet:
+            # "small:2,large:1" -> "small2+large1"
+            parts.append(self.fleet.replace(":", "").replace(",", "+"))
+        if self.routing != "shared_queue":
+            parts.append(self.routing)
         if self.policy != "fifo":
             parts.append(self.policy)
         if self.num_tenants != 2:
@@ -317,6 +347,9 @@ class ServingScenario:
             metrics_backend=self.metrics_backend,
             violation_budget=self.violation_budget,
             burn_window_seconds=self.burn_window_seconds,
+            fleet=self.fleet or None,
+            routing=self.routing,
+            routing_seed=self.seed,
         )
 
 
@@ -359,6 +392,9 @@ class ServingRecord:
     tarpitted: int = 0
     overall_burn_rate: float = 0.0
     peak_burn_rate: float = 0.0
+    fleet: str = ""
+    routing: str = "shared_queue"
+    cost_dollars: float = 0.0
     cached: bool = False
 
     def metrics(self) -> dict[str, float]:
@@ -386,6 +422,7 @@ class ServingRecord:
             "tarpitted": self.tarpitted,
             "overall_burn_rate": self.overall_burn_rate,
             "peak_burn_rate": self.peak_burn_rate,
+            "cost_dollars": self.cost_dollars,
         }
 
     def to_dict(self) -> dict[str, Any]:
@@ -455,6 +492,9 @@ class ServingRecord:
             peak_burn_rate=(
                 report.burn.peak_burn_rate if report.burn is not None else 0.0
             ),
+            fleet=report.fleet,
+            routing=report.routing,
+            cost_dollars=report.cost_dollars,
         )
 
 

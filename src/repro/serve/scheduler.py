@@ -116,11 +116,19 @@ class BatchingScheduler:
             queue.append(request)
         self._depth += 1
 
-    def ready(self, now: float) -> bool:
-        """Whether a batch should be dispatched at time ``now``."""
+    def ready(self, now: float, limit: int | None = None) -> bool:
+        """Whether a batch should be dispatched at time ``now``.
+
+        ``limit`` is a per-dispatch batch ceiling below ``max_batch`` —
+        the hardware cap of the instance type asking (heterogeneous
+        fleets); a full batch *for that type* is ready sooner.
+        """
         if self._depth == 0:
             return False
-        if self._depth >= self.max_batch:
+        size = (
+            self.max_batch if limit is None else min(self.max_batch, limit)
+        )
+        if self._depth >= size:
             return True
         oldest = self.oldest_arrival()
         assert oldest is not None
@@ -132,17 +140,37 @@ class BatchingScheduler:
     # ------------------------------------------------------------------
     # Batch composition
     # ------------------------------------------------------------------
-    def pop_batch(self, now: float) -> Batch:
-        """Form and remove the next batch (up to ``max_batch`` requests)."""
+    def pop_batch(self, now: float, limit: int | None = None) -> Batch:
+        """Form and remove the next batch (up to ``max_batch`` requests,
+        further capped by ``limit`` — the acquiring instance type's batch
+        ceiling — when given)."""
         if self._depth == 0:
             raise ValueError("cannot pop a batch from an empty queue")
-        take = min(self.max_batch, self._depth)
+        size = (
+            self.max_batch if limit is None else min(self.max_batch, limit)
+        )
+        take = min(size, self._depth)
         if self.policy == "fifo":
             chosen = [self._fifo.popleft() for _ in range(take)]
         else:
             chosen = [self._pop_fair() for _ in range(take)]
         self._depth -= take
         return Batch(requests=tuple(chosen), formed_time=now)
+
+    def spawn(self) -> "BatchingScheduler":
+        """A fresh, empty scheduler with this one's configuration.
+
+        The routing layer needs one queue per target with identical
+        batching knobs; spawning from the configured prototype keeps
+        direct engine construction (one scheduler, one queue) working
+        unchanged.
+        """
+        return BatchingScheduler(
+            max_batch=self.max_batch,
+            max_wait_seconds=self.max_wait_seconds,
+            policy=self.policy,
+            tenant_weights=self.tenant_weights,
+        )
 
     def _weight(self, tenant: str) -> float:
         return self.tenant_weights.get(tenant, 1.0)
@@ -169,3 +197,35 @@ class BatchingScheduler:
         self._vtime[tenant] += 1.0 / self._weight(tenant)
         self._vclock = self._vtime[tenant]
         return self._queues[tenant].popleft()
+
+
+class SchedulerGroup:
+    """The routing layer's per-target queues, one scheduler per target.
+
+    A thin aggregate over named :class:`BatchingScheduler` instances: the
+    engine enqueues into the target a routing policy picked and reads the
+    *total* queue depth for admission, autoscaling, and sampling — the
+    same number the single shared queue used to report.  Target order is
+    declaration order (deterministic iteration).
+    """
+
+    def __init__(self, schedulers: Mapping[str, BatchingScheduler]) -> None:
+        if not schedulers:
+            raise ValueError("a scheduler group needs at least one target")
+        self._schedulers = dict(schedulers)
+        self.targets: tuple[str, ...] = tuple(self._schedulers)
+
+    def __getitem__(self, target: str) -> BatchingScheduler:
+        return self._schedulers[target]
+
+    def __iter__(self):
+        return iter(self._schedulers.values())
+
+    @property
+    def queue_depth(self) -> int:
+        """Waiting requests summed across every target queue."""
+        return sum(s.queue_depth for s in self._schedulers.values())
+
+    def depth_of(self, target: str) -> int:
+        """One target's queue depth (what routing policies inspect)."""
+        return self._schedulers[target].queue_depth

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.serve.capacity import meets_slo, plan_capacity
+from repro.serve.capacity import (
+    enumerate_fleets,
+    meets_slo,
+    plan_capacity,
+    plan_fleet,
+)
+from repro.serve.fleet import FleetSpec
 from repro.serve.scenario import (
     ServingScenario,
     run_serving_scenario,
@@ -121,3 +127,164 @@ class TestPlanCapacity:
             plan_capacity(SCENARIO, max_instances=0, service=SERVICE)
         with pytest.raises(ValueError, match="max_violation_rate"):
             plan_capacity(SCENARIO, max_violation_rate=1.5, service=SERVICE)
+        with pytest.raises(ValueError, match="unknown instance type"):
+            plan_capacity(SCENARIO, instance_type="mega", service=SERVICE)
+
+    def test_typed_plan_probes_single_type_fleets(self):
+        plan = plan_capacity(
+            SCENARIO,
+            max_instances=8,
+            max_violation_rate=0.01,
+            service=SERVICE,
+            instance_type="large",
+        )
+        assert plan.feasible
+        record = plan.record
+        assert record.fleet == f"large:{plan.instances}"
+        assert record.cost_dollars > 0
+
+
+class TestEnumerateFleets:
+    def test_ascending_declared_cost(self):
+        specs = enumerate_fleets(("small", "large"), 2)
+        costs = [s.cost_rate() for s in specs]
+        assert costs == sorted(costs)
+        assert specs[0].render() == "small:1"  # $0.5/s is the floor
+
+    def test_zero_count_slices_are_dropped_not_declared(self):
+        # A declared-but-empty type would attract routed requests and
+        # starve them; pure-large compositions must not mention small.
+        specs = enumerate_fleets(("small", "large"), 1)
+        assert {s.render() for s in specs} == {
+            "small:1", "large:1", "small:1,large:1",
+        }
+
+    def test_max_total_caps_fleet_size(self):
+        specs = enumerate_fleets(("small", "default", "large"), 3, max_total=2)
+        assert all(s.total() <= 2 for s in specs)
+        assert specs  # the cap leaves something to search
+
+    def test_deterministic_order(self):
+        a = [s.render() for s in enumerate_fleets(("small", "default"), 3)]
+        b = [s.render() for s in enumerate_fleets(("small", "default"), 3)]
+        assert a == b
+
+
+class TestPlanFleet:
+    def test_matches_brute_force_enumeration(self):
+        # The planner's early stop must return exactly what probing
+        # every composition and taking the cheapest feasible one gives.
+        plan = plan_fleet(
+            SCENARIO,
+            candidate_types=("small", "large"),
+            max_per_type=2,
+            max_violation_rate=0.01,
+            service=SERVICE,
+        )
+        best = None
+        for spec in enumerate_fleets(("small", "large"), 2):
+            record = run_serving_scenario(
+                scenario_with(
+                    SCENARIO, fleet=spec.render(), routing="size_affinity"
+                ),
+                service=SERVICE,
+            )
+            if meets_slo(record, 0.01):
+                best = spec
+                break
+        assert (plan.fleet is None) == (best is None)
+        if best is not None:
+            assert plan.fleet == best.render()
+            assert plan.cost_rate == pytest.approx(best.cost_rate())
+            assert plan.record.slo_violation_rate <= 0.01
+
+    def test_early_stop_skips_costlier_compositions(self):
+        plan = plan_fleet(
+            SCENARIO,
+            candidate_types=("small", "large"),
+            max_per_type=2,
+            max_violation_rate=0.01,
+            service=SERVICE,
+        )
+        total = len(enumerate_fleets(("small", "large"), 2))
+        assert len(plan.evaluated) + plan.skipped == total
+        if plan.feasible:
+            # Everything actually probed before the winner costs less
+            # or the same — nothing cheaper was left untried.
+            assert all(
+                FleetSpec.parse(f).cost_rate() <= plan.cost_rate
+                for f in plan.evaluated
+            )
+            assert "<-- minimum" in plan.render()
+
+    def test_infeasible_when_slo_below_service_floor(self):
+        impossible = scenario_with(SCENARIO, slo_seconds=0.001)
+        plan = plan_fleet(
+            impossible,
+            candidate_types=("small", "large"),
+            max_per_type=1,
+            service=SERVICE,
+        )
+        assert not plan.feasible
+        assert plan.record is None
+        assert plan.skipped == 0  # nothing is skipped on a full scan
+        assert "infeasible" in plan.render()
+
+    def test_deterministic(self):
+        kwargs = dict(
+            candidate_types=("small", "large"),
+            max_per_type=2,
+            service=SERVICE,
+        )
+        a = plan_fleet(SCENARIO, **kwargs)
+        b = plan_fleet(SCENARIO, **kwargs)
+        assert a.fleet == b.fleet
+        assert {f: r.metrics() for f, r in a.evaluated.items()} == {
+            f: r.metrics() for f, r in b.evaluated.items()
+        }
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="candidate"):
+            plan_fleet(SCENARIO, candidate_types=(), service=SERVICE)
+        with pytest.raises(ValueError, match="distinct"):
+            plan_fleet(
+                SCENARIO, candidate_types=("small", "small"), service=SERVICE
+            )
+        with pytest.raises(ValueError, match="max_per_type"):
+            plan_fleet(SCENARIO, max_per_type=0, service=SERVICE)
+        with pytest.raises(ValueError, match="max_total"):
+            plan_fleet(SCENARIO, max_total=0, service=SERVICE)
+        with pytest.raises(ValueError, match="unknown routing"):
+            plan_fleet(SCENARIO, routing="teleport", service=SERVICE)
+
+
+class TestFig11AcceptanceCriterion:
+    """The ISSUE's headline: het meets the SLO cheaper than homogeneous."""
+
+    @pytest.fixture(scope="class")
+    def fig11(self):
+        from repro.experiments.fig11_fleet import run_fig11
+
+        return run_fig11(seed=0)
+
+    def test_het_fleet_meets_the_same_slo(self, fig11):
+        het = fig11.point("het-planned")
+        assert het.feasible
+        assert het.slo_violation_rate <= fig11.max_violation_rate
+        assert het.p99_latency_seconds <= fig11.slo_seconds
+
+    def test_het_fleet_is_strictly_cheaper_than_best_homogeneous(self, fig11):
+        best = fig11.best_homogeneous
+        assert best is not None and best.feasible
+        het = fig11.point("het-planned")
+        assert het.cost_rate < best.cost_rate
+        assert fig11.savings > 0.0
+
+    def test_small_and_default_are_structurally_infeasible(self, fig11):
+        # The regime is chosen so the composition question has teeth.
+        assert not fig11.point("hom-small").feasible
+        assert not fig11.point("hom-default").feasible
+        assert fig11.point("hom-large").feasible
+
+    def test_planner_early_stop_did_real_work(self, fig11):
+        assert fig11.compositions_skipped > 0
