@@ -22,6 +22,7 @@ Commands::
 from __future__ import annotations
 
 import argparse
+import sys
 from dataclasses import replace
 from pathlib import Path
 
@@ -205,6 +206,9 @@ def cmd_serve(args: argparse.Namespace) -> None:
         ("max_instances", "max_instances"),
         ("fleet", "fleet"),
         ("routing", "routing"),
+        ("faults", "faults"),
+        ("retry", "retry"),
+        ("retry_max_attempts", "retry_attempts"),
     ):
         value = getattr(args, arg_name)
         if value is not None:
@@ -217,6 +221,8 @@ def cmd_serve(args: argparse.Namespace) -> None:
         overrides["warmup_seconds"] = args.warmup_ms / 1e3
     if args.tarpit_ms is not None:
         overrides["tarpit_seconds"] = args.tarpit_ms / 1e3
+    if args.hedge_ms is not None:
+        overrides["hedge_seconds"] = args.hedge_ms / 1e3
     if args.autoscale is not None and args.autoscale != "none" and not args.preset:
         # Enabling the autoscaler from scratch starts the fleet at the
         # floor (that is the point of closing the loop); a preset's own
@@ -301,6 +307,13 @@ def cmd_serve(args: argparse.Namespace) -> None:
         extras.append(
             f"admission {scenario.admission} (queue budget "
             f"{scenario.queue_budget}, quota {scenario.tenant_quota_qps:g} qps)"
+        )
+    if scenario.faults:
+        extras.append(f"faults {scenario.faults}")
+    if scenario.retry != "none" or scenario.hedge_seconds > 0:
+        extras.append(
+            f"retry {scenario.retry} (<= {scenario.retry_max_attempts} "
+            f"attempts), hedge {scenario.hedge_seconds * 1e3:g}ms"
         )
     if trace is not None:
         extras.append(f"trace {args.trace_file} ({len(trace.requests)} requests)")
@@ -559,6 +572,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="retry delay per refusal in tarpit mode",
     )
     serve.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="seeded fault injection: 'default' for the stock zoo or "
+        "'mtbf=0.5,mttr=0.1,...' (crashes, slowdowns, zone outages)",
+    )
+    serve.add_argument(
+        "--retry", choices=("none", "backoff", "deadline"), default=None,
+        help="client retry policy for failed requests (default none)",
+    )
+    serve.add_argument(
+        "--retry-attempts", type=_positive_int, default=None,
+        help="total attempts per request before giving up (default 3)",
+    )
+    serve.add_argument(
+        "--hedge-ms", type=float, default=None,
+        help="hedged dispatch: duplicate a request to a second target "
+        "after this delay; first copy wins (0 disables)",
+    )
+    serve.add_argument(
         "--trace-file", default=None, metavar="CSV",
         help="replay a recorded request stream instead of a generated "
         "arrival model (single point only)",
@@ -611,7 +642,13 @@ def main(argv: list[str] | None = None) -> None:
         "sweep": cmd_sweep,
         "serve": cmd_serve,
     }[args.command]
-    handler(args)
+    try:
+        handler(args)
+    except BrokenPipeError:
+        # Reader closed our stdout (`repro ... | head`); exit quietly
+        # with the conventional SIGPIPE status instead of a traceback.
+        sys.stderr.close()
+        raise SystemExit(141)
 
 
 if __name__ == "__main__":

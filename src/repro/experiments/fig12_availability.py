@@ -1,0 +1,240 @@
+"""Fig. 12 (extension): the availability-vs-cost frontier under faults.
+
+Not a paper figure — the paper evaluates a fault-free accelerator — but
+the first question a deployed fleet faces: when instances crash, slow
+down, and fail by zone, how much of the fault-free service level can
+client-side reliability policy buy back, and what does provisioning the
+rest cost?  The experiment holds one workload against one fault zoo and
+compares four serving stances:
+
+* ``fault-free`` — the same scenario with no faults injected: the
+  ceiling every other stance is measured against.
+* ``faults/no-retry`` — the fault zoo with no reliability machinery:
+  requests on crashed instances fail, requests behind slowed instances
+  straggle past the SLO.
+* ``faults/retry`` — deterministic exponential-backoff retries
+  (:mod:`repro.serve.retry`): failures are re-driven until they
+  complete, recovering *availability* but not stragglers.
+* ``faults/retry+hedge`` — retries plus hedged dispatch: a duplicate is
+  sent to a second target after a fixed delay and the first copy wins,
+  converting slow-instance stragglers into on-SLO completions at the
+  price of duplicate work.
+
+The score is **SLO attainment** — completed requests that also met the
+SLO, as a fraction of offered load (``completed * (1 - violation_rate)
+/ offered``) — and each stance's ``recovery`` is its attainment
+relative to fault-free.  The headline: retries plus hedging recover at
+least 90% of the fault-free attainment under the full fault zoo.
+
+The frontier's other axis is capital: the same availability target can
+be bought with spare capacity instead of (or alongside) retries.  The
+experiment prices that with the N+k planner —
+:func:`repro.serve.capacity.plan_fleet` with ``availability=1`` must
+survive the worst single-instance outage — and reports the $-rate
+premium over the fault-oblivious N+0 plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import ExperimentTable
+
+#: The fault zoo the reliability stances are measured under: per-instance
+#: crashes roughly every half second of instance-time with fast repair,
+#: 4x slowdowns lasting 200 ms, and correlated two-zone outages.
+DEFAULT_FAULT_ZOO = (
+    "mtbf=0.5,mttr=0.08,slow_mtbf=0.6,slow_factor=4.0,"
+    "slow_duration=0.2,zones=2,zone_mtbf=3.0,zone_mttr=0.12"
+)
+
+#: Hedge delay: fire the duplicate once a request has waited well past
+#: the fault-free p99 but early enough for the copy to finish in-SLO.
+DEFAULT_HEDGE_SECONDS = 0.04
+
+#: The recovery fraction the headline claims (tests assert it).
+RECOVERY_TARGET = 0.9
+
+
+@dataclass(frozen=True)
+class Fig12Point:
+    """One reliability stance under the common workload and fault zoo."""
+
+    label: str
+    faults: str
+    retry: str
+    hedge_ms: float
+    attainment: float  # in-SLO completions / offered
+    recovery: float  # attainment / fault-free attainment
+    availability: float  # completed / (completed + failed)
+    failed: int
+    retries: int
+    crashes: int
+    hedges_fired: int
+    hedges_cancelled: int
+    p99_latency_seconds: float
+    slo_violation_rate: float
+    cost_dollars: float
+
+
+@dataclass(frozen=True)
+class Fig12Result:
+    points: tuple[Fig12Point, ...]
+    slo_seconds: float
+    fault_zoo: str
+    #: N+0 vs N+1 sizing: fleet string and $-rate of each plan (empty /
+    #: zero when the planner found no feasible composition).
+    plan_fleet_n0: str
+    plan_cost_n0: float
+    plan_fleet_n1: str
+    plan_cost_n1: float
+
+    def point(self, label: str) -> Fig12Point:
+        for p in self.points:
+            if p.label == label:
+                return p
+        raise KeyError(label)
+
+    @property
+    def availability_premium(self) -> float:
+        """Extra $-rate fraction the N+1 plan costs over N+0."""
+        if self.plan_cost_n0 <= 0 or not self.plan_fleet_n1:
+            return 0.0
+        return self.plan_cost_n1 / self.plan_cost_n0 - 1.0
+
+    def table(self) -> ExperimentTable:
+        t = ExperimentTable(
+            title=(
+                f"Fig. 12 - availability vs cost under faults "
+                f"(SLO {self.slo_seconds * 1e3:g} ms, zoo [{self.fault_zoo}])"
+            ),
+            columns=[
+                "stance", "attain", "recovery", "avail%", "failed",
+                "retries", "hedges", "p99 ms", "viol%", "$ billed",
+            ],
+        )
+        for p in self.points:
+            t.add_row(
+                p.label,
+                p.attainment,
+                p.recovery,
+                p.availability * 100.0,
+                p.failed,
+                p.retries,
+                f"{p.hedges_fired}/{p.hedges_cancelled}",
+                p.p99_latency_seconds * 1e3,
+                p.slo_violation_rate * 100.0,
+                p.cost_dollars,
+            )
+        return t
+
+
+def run_fig12(
+    seed: int = 0,
+    qps: float = 100.0,
+    duration_seconds: float = 2.0,
+    slo_seconds: float = 0.1,
+    fleet: str = "small:2,default:2",
+    fault_zoo: str = DEFAULT_FAULT_ZOO,
+    hedge_seconds: float = DEFAULT_HEDGE_SECONDS,
+) -> Fig12Result:
+    """Measure the reliability stances and price the N+1 alternative.
+
+    The default regime (Poisson 100 qps on a small+default fleet at a
+    100 ms SLO) runs the fleet at moderate utilization — the regime
+    where hedging earns its keep.  Under saturation the same policies
+    invert: duplicates and re-driven failures add load exactly when
+    capacity is short (the classic retry storm), which the experiment
+    would faithfully report as recovery *below* the no-retry stance.
+    """
+    from repro.serve.capacity import plan_fleet
+    from repro.serve.scenario import (
+        ServingScenario,
+        run_serving_scenario,
+        scenario_with,
+    )
+
+    base = ServingScenario(
+        dataset="ppi",
+        scale=0.05,
+        arrival="poisson",
+        qps=qps,
+        duration_seconds=duration_seconds,
+        num_tenants=2,
+        max_batch=8,
+        instances=4,
+        fleet=fleet,
+        routing="size_affinity",
+        slo_seconds=slo_seconds,
+        seed=seed,
+    )
+    stances = (
+        ("fault-free", {}),
+        ("faults/no-retry", {"faults": fault_zoo}),
+        ("faults/retry", {"faults": fault_zoo, "retry": "backoff"}),
+        (
+            "faults/retry+hedge",
+            {
+                "faults": fault_zoo,
+                "retry": "backoff",
+                "hedge_seconds": hedge_seconds,
+            },
+        ),
+    )
+    records = {
+        label: run_serving_scenario(scenario_with(base, **overrides))
+        for label, overrides in stances
+    }
+
+    def attainment(label: str) -> float:
+        r = records[label]
+        if r.offered == 0:
+            return 0.0
+        return r.completed * (1.0 - r.slo_violation_rate) / r.offered
+
+    ceiling = attainment("fault-free")
+    points = []
+    for label, overrides in stances:
+        r = records[label]
+        points.append(
+            Fig12Point(
+                label=label,
+                faults=str(overrides.get("faults", "")),
+                retry=str(overrides.get("retry", "none")),
+                hedge_ms=float(overrides.get("hedge_seconds", 0.0)) * 1e3,
+                attainment=attainment(label),
+                recovery=attainment(label) / ceiling if ceiling > 0 else 0.0,
+                availability=r.availability,
+                failed=r.failed,
+                retries=r.retries,
+                crashes=r.crashes,
+                hedges_fired=r.hedges_fired,
+                hedges_cancelled=r.hedges_cancelled,
+                p99_latency_seconds=r.p99_latency_seconds,
+                slo_violation_rate=r.slo_violation_rate,
+                cost_dollars=r.cost_dollars,
+            )
+        )
+
+    # The capital alternative: how much does surviving the worst single
+    # outage cost up front?  Both plans probe the fault-free workload;
+    # the N+1 plan must also meet the SLO with any one instance removed.
+    plans = {
+        k: plan_fleet(
+            base,
+            candidate_types=("small", "default"),
+            max_per_type=3,
+            max_total=4,
+            availability=k,
+        )
+        for k in (0, 1)
+    }
+    return Fig12Result(
+        points=tuple(points),
+        slo_seconds=slo_seconds,
+        fault_zoo=fault_zoo,
+        plan_fleet_n0=plans[0].fleet or "",
+        plan_cost_n0=plans[0].cost_rate or 0.0,
+        plan_fleet_n1=plans[1].fleet or "",
+        plan_cost_n1=plans[1].cost_rate or 0.0,
+    )

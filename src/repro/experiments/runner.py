@@ -27,6 +27,7 @@ from repro.experiments.fig8_fullsystem import run_fig8
 from repro.experiments.fig9_serving import run_fig9
 from repro.experiments.fig10_autoscale import run_fig10
 from repro.experiments.fig11_fleet import run_fig11
+from repro.experiments.fig12_availability import run_fig12
 from repro.experiments.tables import table1_parameters, table2_datasets
 
 
@@ -105,6 +106,27 @@ def _fig11(seed: int) -> str:
     return result.table().render() + summary
 
 
+def _fig12(seed: int) -> str:
+    result = run_fig12(seed=seed)
+    hedged = result.point("faults/retry+hedge")
+    bare = result.point("faults/no-retry")
+    summary = (
+        f"\nretry+hedging recovers {hedged.recovery:.1%} of fault-free "
+        f"SLO-attainment (no-retry: {bare.recovery:.1%}) at availability "
+        f"{hedged.availability:.1%} despite {hedged.crashes} killed "
+        f"instance(s)"
+    )
+    if result.plan_fleet_n1:
+        summary += (
+            f"\nN+1 fleet [{result.plan_fleet_n1}] survives the worst "
+            f"single outage at {result.availability_premium:+.0%} $-rate "
+            f"over N+0 [{result.plan_fleet_n0}]"
+        )
+    else:
+        summary += "\nno feasible N+1 composition in the searched space"
+    return result.table().render() + summary
+
+
 #: Experiment registry: name -> callable(seed) -> rendered text.
 EXPERIMENTS: dict[str, Callable[[int], str]] = {
     "table1": _table1,
@@ -117,6 +139,7 @@ EXPERIMENTS: dict[str, Callable[[int], str]] = {
     "fig9": _fig9,
     "fig10": _fig10,
     "fig11": _fig11,
+    "fig12": _fig12,
 }
 
 ALL_EXPERIMENTS = tuple(EXPERIMENTS)

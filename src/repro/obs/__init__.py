@@ -44,14 +44,22 @@ from repro.obs.sketch import (
 )
 from repro.obs.slo import BurnRateTracker, BurnWindow, SloBurnReport
 from repro.obs.trace import (
+    FLEET_CRASH,
+    FLEET_RECOVER,
     FLEET_RESCUE,
     FLEET_SCALE,
+    FLEET_SLOWDOWN,
     FLEET_WARMED,
+    FLEET_ZONE_OUTAGE,
     SPAN_ADMIT,
     SPAN_ARRIVE,
     SPAN_DEPART,
     SPAN_DISPATCH,
     SPAN_ENQUEUE,
+    SPAN_FAIL,
+    SPAN_HEDGE_CANCELLED,
+    SPAN_HEDGE_FIRED,
+    SPAN_RETRY,
     SPAN_SHED,
     SPAN_TARPIT,
     TERMINAL_SPANS,
@@ -88,9 +96,17 @@ __all__ = [
     "SPAN_ENQUEUE",
     "SPAN_DISPATCH",
     "SPAN_DEPART",
+    "SPAN_RETRY",
+    "SPAN_FAIL",
+    "SPAN_HEDGE_FIRED",
+    "SPAN_HEDGE_CANCELLED",
     "FLEET_WARMED",
     "FLEET_SCALE",
     "FLEET_RESCUE",
+    "FLEET_CRASH",
+    "FLEET_RECOVER",
+    "FLEET_SLOWDOWN",
+    "FLEET_ZONE_OUTAGE",
     "BurnRateTracker",
     "BurnWindow",
     "SloBurnReport",

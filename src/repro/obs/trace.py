@@ -9,6 +9,11 @@ formation + instance assignment) → ``depart`` (service complete), with
 ``tarpit`` retries, ``shed`` drops, and fleet-level ``warmed`` /
 ``scale`` / ``rescue`` events interleaved — all stamped with simulated
 time, so a trace is a deterministic function of the seeded scenario.
+Faulted runs add the reliability lifecycle: ``retry`` (a crashed
+attempt re-enqueued), ``fail`` (a request out of attempts — terminal,
+like ``shed``), the ``hedge_fired`` / ``hedge_cancelled`` pair, and
+fleet-level ``crash`` / ``recover`` / ``slowdown`` / ``zone_outage``
+events.
 
 Recording is strictly opt-in.  The default :class:`NullRecorder`
 advertises ``enabled = False`` and the engine resolves that to *no
@@ -49,14 +54,27 @@ SPAN_SHED = "shed"
 SPAN_ENQUEUE = "enqueue"
 SPAN_DISPATCH = "dispatch"
 SPAN_DEPART = "depart"
+#: Reliability span kinds: a crashed attempt re-enqueued (``retry``), a
+#: request out of attempts or past its deadline (``fail``, terminal),
+#: and the hedged-dispatch pair — the duplicate copy entering a second
+#: queue (``hedge_fired``) and the losing copy discarded after the
+#: winner departed (``hedge_cancelled``).
+SPAN_RETRY = "retry"
+SPAN_FAIL = "fail"
+SPAN_HEDGE_FIRED = "hedge_fired"
+SPAN_HEDGE_CANCELLED = "hedge_cancelled"
 
 #: Fleet-level span kinds (no request attached).
 FLEET_WARMED = "warmed"
 FLEET_SCALE = "scale"
 FLEET_RESCUE = "rescue"
+FLEET_CRASH = "crash"
+FLEET_RECOVER = "recover"
+FLEET_SLOWDOWN = "slowdown"
+FLEET_ZONE_OUTAGE = "zone_outage"
 
 #: Span kinds that close a request's lifecycle.
-TERMINAL_SPANS = (SPAN_DEPART, SPAN_SHED)
+TERMINAL_SPANS = (SPAN_DEPART, SPAN_SHED, SPAN_FAIL)
 
 _ONE_IN_K = re.compile(r"^1-in-(\d+)$")
 _HEAD_N = re.compile(r"^head:(\d+)$")
@@ -189,7 +207,9 @@ class MemoryTraceRecorder(TraceRecorder):
             del self._pending[request.request_id]
             if attrs.get("violated", False):
                 self._spans.extend(buffer)
-        elif kind == SPAN_SHED:
+        elif kind in (SPAN_SHED, SPAN_FAIL):
+            # Failing to be served at all is the strongest SLO violation
+            # there is: sheds and retry give-ups always commit.
             del self._pending[request.request_id]
             self._spans.extend(buffer)
 

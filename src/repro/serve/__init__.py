@@ -35,7 +35,14 @@ The pieces:
   the generic campaign machinery with store-backed caching.
 * :mod:`repro.serve.capacity` — capacity planning: binary search for the
   minimum single-type fleet, cost-ordered composition search for the
-  cheapest heterogeneous fleet meeting a target SLO at a given load.
+  cheapest heterogeneous fleet meeting a target SLO at a given load,
+  and N+k availability-aware sizing against worst-case outages.
+* :mod:`repro.serve.faults` — seeded deterministic fault injection:
+  per-instance crash-and-recover, transient slowdowns, and correlated
+  zone outages driven through the event loop as first-class events.
+* :mod:`repro.serve.retry` — client-side reliability policies: retry
+  with deterministic exponential backoff or deadline awareness, plus
+  hedged dispatch (duplicate to a second target, first copy wins).
 """
 
 from repro.serve.arrivals import (
@@ -78,6 +85,13 @@ from repro.serve.capacity import (
     meets_slo,
     plan_capacity,
     plan_fleet,
+    survivable_fleets,
+)
+from repro.serve.faults import (
+    DEFAULT_FAULTS,
+    FaultInjector,
+    FaultSpec,
+    coerce_faults,
 )
 from repro.serve.engine import (
     ReplicaPool,
@@ -94,6 +108,11 @@ from repro.serve.fleet import (
     coerce_fleet,
     fleet_with_total,
     get_instance_type,
+)
+from repro.serve.retry import (
+    RETRY_POLICIES,
+    RetryPolicy,
+    make_retry_policy,
 )
 from repro.serve.routing import (
     ROUTING_POLICIES,
@@ -199,4 +218,12 @@ __all__ = [
     "FleetPlan",
     "plan_fleet",
     "enumerate_fleets",
+    "survivable_fleets",
+    "FaultSpec",
+    "FaultInjector",
+    "coerce_faults",
+    "DEFAULT_FAULTS",
+    "RetryPolicy",
+    "RETRY_POLICIES",
+    "make_retry_policy",
 ]

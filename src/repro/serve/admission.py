@@ -205,15 +205,31 @@ class AdmissionController:
             ),
         )
 
-    def admit(self, tenant: str, now: float, queue_depth: int) -> AdmissionDecision:
+    def admit(
+        self,
+        tenant: str,
+        now: float,
+        queue_depth: int,
+        capacity_fraction: float = 1.0,
+    ) -> AdmissionDecision:
         """Gate one arrival: quota first, then the queue budget.
 
         Order matters: an over-quota tenant is refused before it can
         consume shared queue budget, so quota enforcement is independent
         of how congested the system happens to be.
+
+        ``capacity_fraction`` is the degraded-mode hook: when faults
+        have taken part of the fleet down, the engine passes the healthy
+        fraction of declared capacity and the queue budget tightens
+        proportionally (never below one slot) — queueing against
+        capacity that is not there only deepens the tail.
         """
         if self.tenant_quota_qps > 0 and not self._bucket(tenant).try_take(now):
             return self._refuse(REASON_QUOTA)
-        if self.queue_budget > 0 and queue_depth >= self.queue_budget:
-            return self._refuse(REASON_QUEUE)
+        if self.queue_budget > 0:
+            budget = self.queue_budget
+            if capacity_fraction < 1.0:
+                budget = max(1, int(budget * max(capacity_fraction, 0.0)))
+            if queue_depth >= budget:
+                return self._refuse(REASON_QUEUE)
         return ADMIT

@@ -104,8 +104,11 @@ def plan_capacity(
     autoscaler would resize every probe to whatever the load needs
     (making all fleet sizes look identical), and admission control would
     hide violations by shedding the very requests that miss the SLO — so
-    both are stripped before probing.  The plan is the *static* answer
-    the closed-loop controllers are compared against.
+    both are stripped before probing, along with fault injection and
+    retries/hedging (availability-aware sizing reasons about *surviving*
+    capacity explicitly; see :func:`plan_fleet`'s ``availability``).
+    The plan is the *static* answer the closed-loop controllers are
+    compared against.
     """
     if max_instances < 1:
         raise ValueError(f"max_instances must be >= 1, got {max_instances}")
@@ -128,6 +131,9 @@ def plan_capacity(
                     ),
                     autoscaler="none",
                     admission="none",
+                    faults="",
+                    retry="none",
+                    hedge_seconds=0.0,
                 ),
                 service=service,
                 store=store,
@@ -247,6 +253,38 @@ def enumerate_fleets(
     return specs
 
 
+def survivable_fleets(spec: FleetSpec, failures: int) -> list[FleetSpec]:
+    """Every composition reachable from ``spec`` by removing exactly
+    ``failures`` instances (the N+k worst cases an availability-aware
+    plan must survive), deduplicated, deterministic order.
+
+    Requires ``spec.total() > failures`` — a fleet that a ``failures``-
+    instance outage can wipe out entirely has no survivable reductions.
+    """
+    if failures < 1:
+        raise ValueError(f"failures must be >= 1, got {failures}")
+    if spec.total() <= failures:
+        raise ValueError(
+            f"a {spec.total()}-instance fleet cannot survive "
+            f"{failures} failure(s)"
+        )
+    names = [name for name, _ in spec.slices]
+    counts = [count for _, count in spec.slices]
+    seen: dict[str, FleetSpec] = {}
+    for removal in product(*(range(min(c, failures) + 1) for c in counts)):
+        if sum(removal) != failures:
+            continue
+        reduced = FleetSpec(
+            slices=tuple(
+                (name, count - r)
+                for name, count, r in zip(names, counts, removal)
+                if count - r > 0
+            )
+        )
+        seen.setdefault(reduced.render(), reduced)
+    return [seen[key] for key in sorted(seen)]
+
+
 def plan_fleet(
     scenario: ServingScenario,
     candidate_types: tuple[str, ...] = ("small", "default", "large"),
@@ -256,6 +294,7 @@ def plan_fleet(
     routing: str = "size_affinity",
     service: ServiceModel | None = None,
     store: ResultStore | None = None,
+    availability: int = 0,
 ) -> FleetPlan:
     """Find the cheapest fleet composition meeting the SLO.
 
@@ -268,8 +307,18 @@ def plan_fleet(
     brute-force minimum; the remaining costlier compositions are never
     simulated (``skipped`` counts them).
 
-    Probes run open-loop with a static fleet for the same reason
-    :func:`plan_capacity`'s do — the plan is the static answer.
+    ``availability=k`` asks for N+k sizing: a composition is feasible
+    only if the full fleet meets the SLO *and* every way of losing ``k``
+    instances (the worst case of ``k`` simultaneous crashes, before any
+    recovery) still meets it.  Feasibility stays a property of each
+    composition alone, so ascending-cost first-feasible still equals the
+    brute-force minimum; reduction probes are shared across compositions
+    through the ``evaluated`` table.  The cost difference against the
+    ``availability=0`` plan is the $-price of the availability guarantee.
+
+    Probes run open-loop with a static, fault-free fleet for the same
+    reason :func:`plan_capacity`'s do — the plan is the static answer,
+    and N+k reductions model the outage explicitly.
     """
     if not candidate_types:
         raise ValueError("need at least one candidate type")
@@ -288,28 +337,48 @@ def plan_fleet(
             f"unknown routing policy {routing!r}; "
             f"choose from {sorted(ROUTING_POLICIES)}"
         )
+    if availability < 0:
+        raise ValueError(f"availability must be >= 0, got {availability}")
 
     specs = enumerate_fleets(candidate_types, max_per_type, max_total)
     evaluated: dict[str, ServingRecord] = {}
+
+    def probe(fleet: str) -> ServingRecord:
+        record = evaluated.get(fleet)
+        if record is None:
+            record = run_serving_scenario(
+                scenario_with(
+                    scenario,
+                    fleet=fleet,
+                    routing=routing,
+                    autoscaler="none",
+                    admission="none",
+                    faults="",
+                    retry="none",
+                    hedge_seconds=0.0,
+                ),
+                service=service,
+                store=store,
+            )
+            evaluated[fleet] = record
+        return record
+
     winner: str | None = None
     cost_rate: float | None = None
     skipped = 0
     for i, spec in enumerate(specs):
-        fleet = spec.render()
-        record = run_serving_scenario(
-            scenario_with(
-                scenario,
-                fleet=fleet,
-                routing=routing,
-                autoscaler="none",
-                admission="none",
-            ),
-            service=service,
-            store=store,
-        )
-        evaluated[fleet] = record
-        if meets_slo(record, max_violation_rate):
-            winner = fleet
+        if availability > 0 and spec.total() <= availability:
+            continue  # an availability-sized outage wipes this fleet out
+        feasible = meets_slo(probe(spec.render()), max_violation_rate)
+        if feasible and availability > 0:
+            for reduced in survivable_fleets(spec, availability):
+                if not meets_slo(
+                    probe(reduced.render()), max_violation_rate
+                ):
+                    feasible = False
+                    break
+        if feasible:
+            winner = spec.render()
             cost_rate = spec.cost_rate()
             skipped = len(specs) - i - 1
             break

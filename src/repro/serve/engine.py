@@ -2,7 +2,7 @@
 
 Same priority-queue idiom as the NoC event engine
 (:mod:`repro.noc.events`): a heap of timestamped events, cost scaling
-with the number of requests rather than with elapsed time.  Five event
+with the number of requests rather than with elapsed time.  Nine event
 kinds:
 
 * ``DEPART`` — a replica finishes a batch: record per-request latencies,
@@ -18,12 +18,25 @@ kinds:
 * ``AUTOSCALE`` — the autoscaler's evaluation tick: the policy sees a
   :class:`~repro.serve.autoscale.FleetSnapshot` and may grow or shrink
   the fleet.
+* ``FAULT`` — the next injected failure fires: an instance crash (the
+  victim is torn down, its in-flight batch fails, a repair is
+  scheduled), a transient slice slowdown, or a correlated zone outage
+  (:mod:`repro.serve.faults`).
+* ``RECOVER`` — a crashed instance's repair completes: a replacement is
+  provisioned in its slice and pays the normal warm-up.
+* ``RETRY`` — a failed request's backoff elapsed: it re-routes like a
+  fresh arrival (skipping admission — it was already admitted once) and
+  so lands on a healthy target (:mod:`repro.serve.retry`).
+* ``HEDGE`` — a request still unfinished ``hedge_seconds`` after its
+  enqueue is duplicated onto the least-loaded healthy queue; whichever
+  copy departs first wins and the loser cancels at its own departure.
 
 Events at the same instant process departures first (a freed replica can
 serve a batch formed in the same instant), then warm-ups, arrivals, and
-timeouts, with the autoscaler observing the settled state last; within a
-kind, insertion order breaks ties — the whole simulation is a
-deterministic function of the seeded inputs.
+timeouts, with the autoscaler observing the settled state and fault /
+reliability events resolving last; within a kind, insertion order breaks
+ties — the whole simulation is a deterministic function of the seeded
+inputs, faults included.
 
 The fleet is a :class:`~repro.serve.fleet.TypedReplicaPool`: one or more
 instance types (:mod:`repro.serve.fleet`), each with its own batch
@@ -76,14 +89,22 @@ from repro.obs.metrics import MetricRegistry, Sampler
 from repro.obs.sketch import SKETCH_BACKENDS, make_sketch
 from repro.obs.slo import BurnRateTracker, SloBurnReport
 from repro.obs.trace import (
+    FLEET_CRASH,
+    FLEET_RECOVER,
     FLEET_RESCUE,
     FLEET_SCALE,
+    FLEET_SLOWDOWN,
     FLEET_WARMED,
+    FLEET_ZONE_OUTAGE,
     SPAN_ADMIT,
     SPAN_ARRIVE,
     SPAN_DEPART,
     SPAN_DISPATCH,
     SPAN_ENQUEUE,
+    SPAN_FAIL,
+    SPAN_HEDGE_CANCELLED,
+    SPAN_HEDGE_FIRED,
+    SPAN_RETRY,
     SPAN_SHED,
     SPAN_TARPIT,
     TraceRecorder,
@@ -96,6 +117,7 @@ from repro.serve.autoscale import (
     FleetSnapshot,
     ScalingEvent,
 )
+from repro.serve.faults import FaultInjector, FaultSpec, coerce_faults
 from repro.serve.fleet import (
     FleetSpec,
     ReplicaPool,
@@ -103,6 +125,7 @@ from repro.serve.fleet import (
     TypeUsage,
     coerce_fleet,
 )
+from repro.serve.retry import RetryPolicy, make_retry_policy
 from repro.serve.routing import ROUTING_POLICIES, make_routing
 from repro.serve.scheduler import BatchingScheduler, SchedulerGroup
 from repro.serve.service import ServiceModel
@@ -119,6 +142,13 @@ _WARMED = 1
 _ARRIVE = 2
 _TIMEOUT = 3
 _AUTOSCALE = 4
+# Reliability kinds resolve after the autoscaler has observed the settled
+# state at the same instant; new kinds append (same-instant ordering of
+# the original five is pinned by the serving regression baseline).
+_FAULT = 5
+_RECOVER = 6
+_RETRY = 7
+_HEDGE = 8
 
 
 @dataclass(frozen=True)
@@ -171,6 +201,17 @@ class ServingReport:
     routing: str = "shared_queue"
     cost_dollars: float = 0.0
     per_type: tuple[TypeUsage, ...] = ()
+    faults: str = ""
+    retry: str = "none"
+    failed: int = 0
+    retries: int = 0
+    crashes: int = 0
+    recoveries: int = 0
+    slowdowns: int = 0
+    zone_outages: int = 0
+    hedges_fired: int = 0
+    hedges_cancelled: int = 0
+    availability: float = 1.0
 
     def render(self) -> str:
         """Human-readable multi-line summary (what the CLI prints)."""
@@ -231,6 +272,21 @@ class ServingReport:
                     f"served {u.completed}  inst-s {u.instance_seconds:.3f}"
                     f"  ${u.cost_dollars:.4f}"
                 )
+        if self.faults:
+            # Faulted runs only: the fault-free render is pinned
+            # bit-identical to the pre-reliability engine.
+            lines.append(
+                f"faults [{self.faults}]: killed {self.crashes} instance(s), "
+                f"{self.recoveries} recovered   {self.slowdowns} slowdown(s)"
+                f"   {self.zone_outages} zone outage(s)"
+            )
+        if self.faults or self.retry != "none" or self.hedges_fired:
+            lines.append(
+                f"reliability [retry={self.retry}]: availability "
+                f"{self.availability:.2%}   failed {self.failed}   "
+                f"retries {self.retries}   hedges {self.hedges_fired} fired"
+                f" / {self.hedges_cancelled} cancelled"
+            )
         if self.burn is not None:
             lines.extend(self.burn.render())
         if self.admission is not None:
@@ -332,6 +388,20 @@ class ServingEngine:
             ``shared_queue``; single-target policies leave the engine on
             the shared-queue fast path).
         routing_seed: seed for randomized routing policies (po2).
+        faults: optional fault model — a :class:`~repro.serve.faults
+            .FaultSpec` or its string form (``"mtbf=0.4,mttr=0.1"``,
+            or the named preset ``"default"``).  ``None`` / ``""`` (or a
+            spec with every process disabled) skips the fault machinery
+            entirely, keeping the default path bit-identical to the
+            fault-free engine.
+        retry: optional :class:`~repro.serve.retry.RetryPolicy` (or a
+            mode name from :data:`~repro.serve.retry.RETRY_POLICIES`)
+            deciding whether failed requests re-enter the queue.
+        hedge_seconds: duplicate a request onto a second queue when it
+            is still unfinished this long after enqueue (``0`` disables
+            hedging); first copy to depart wins.
+        fault_seed: seed of the fault injector's event stream (the
+            scenario layer passes the scenario seed).
     """
 
     def __init__(
@@ -352,6 +422,10 @@ class ServingEngine:
         fleet: FleetSpec | str | None = None,
         routing: str = "shared_queue",
         routing_seed: int = 0,
+        faults: FaultSpec | str | None = None,
+        retry: RetryPolicy | str | None = None,
+        hedge_seconds: float = 0.0,
+        fault_seed: int = 0,
     ) -> None:
         if fleet is None and instances < 1:
             raise ValueError(f"need at least one instance, got {instances}")
@@ -392,6 +466,16 @@ class ServingEngine:
         self.burn_window_seconds = burn_window_seconds
         self.routing = routing
         self.routing_seed = routing_seed
+        if hedge_seconds < 0:
+            raise ValueError("hedge_seconds must be non-negative")
+        self.faults = coerce_faults(faults)
+        if isinstance(retry, str):
+            retry = make_retry_policy(retry)
+        # A policy that can never retry (mode "none", or one attempt
+        # total) resolves to None so the loop skips the machinery.
+        self.retry_policy = retry if retry is not None and retry.enabled else None
+        self.hedge_seconds = hedge_seconds
+        self.fault_seed = fault_seed
 
     def run(
         self,
@@ -502,6 +586,51 @@ class ServingEngine:
             or max(horizon / 8.0, 1e-9),
         )
 
+        # Reliability machinery (fault injection / retries / hedging).
+        # Every touchpoint below is gated on these flags: a fault-free,
+        # retry-free, unhedged run never reads or writes any of it, which
+        # is what keeps the default path bit-identical to the
+        # pre-reliability engine (pinned by the regression baseline).
+        fault_spec = self.faults
+        injector = (
+            FaultInjector(fault_spec, self.fault_seed, len(slices))
+            if fault_spec is not None
+            else None
+        )
+        faulty = injector is not None
+        retry_policy = self.retry_policy
+        hedge_seconds = self.hedge_seconds
+        hedging = hedge_seconds > 0
+        reliable = faulty or retry_policy is not None or hedging
+        in_flight: dict[tuple[int, int], object] = {}
+        crashed_handles: set[tuple[int, int]] = set()
+        slow_until = [0.0] * len(slices)
+        attempt_count: dict[int, int] = {}  # failed attempts per request
+        finished_ids: set[int] = set()  # hedging: departed-or-failed ids
+        copies: dict[int, int] = {}  # hedging: extra outstanding copies
+        route_of: dict[int, str] = {}  # hedging: the primary copy's target
+        failed = 0
+        retry_count = 0
+        crashes = 0
+        recoveries = 0
+        slowdowns = 0
+        zone_outages = 0
+        hedges_fired = 0
+        hedges_cancelled = 0
+        # Which slices serve each routing target: the health view behind
+        # failure-aware routing (a target is healthy while any serving
+        # slice has an instance up or warming).
+        serving_slices = (
+            {
+                target: tuple(
+                    s for s in slices if target in policy.serves(s.itype.name)
+                )
+                for target in targets
+            }
+            if faulty and multi
+            else {}
+        )
+
         # Aggregate fleet counts: a single-slice fleet reads its one
         # ReplicaPool directly (the pre-fleet hot path); multi-slice
         # fleets pay the summing properties.
@@ -533,6 +662,26 @@ class ServingEngine:
         )
         if autoscaler is not None:
             push(autoscaler.interval_seconds, _AUTOSCALE, None)
+        if faulty:
+            # Seed one event per armed fault process.  Seeds and re-arms
+            # alike only land inside the admission horizon, so the fault
+            # stream always terminates and the post-horizon drain runs
+            # fault-free (a seed drawn past the horizon never fires —
+            # counters and billing integrals stay inside the run).
+            if fault_spec.mtbf > 0:
+                for i, s in enumerate(slices):
+                    gap = injector.next_crash_gap(s.pool.provisioned)
+                    if gap < horizon:
+                        push(gap, _FAULT, ("crash", i))
+            if fault_spec.slow_mtbf > 0:
+                for i in range(len(slices)):
+                    gap = injector.next_slowdown_gap()
+                    if gap < horizon:
+                        push(gap, _FAULT, ("slow", i))
+            if fault_spec.zone_mtbf > 0:
+                gap = injector.next_zone_gap()
+                if gap < horizon:
+                    push(gap, _FAULT, ("zone", -1))
 
         def spawn_follow_up(now: float) -> None:
             """Closed loop: a finished (or refused) client owes its next request."""
@@ -560,6 +709,10 @@ class ServingEngine:
                     )
                     if scale != 1.0:
                         seconds *= scale
+                    if faulty:
+                        if now < slow_until[slice_.index]:
+                            seconds *= fault_spec.slow_factor
+                        in_flight[handle] = batch
                     batches += 1
                     if rec is not None:
                         label = fleet.label(handle)
@@ -573,6 +726,160 @@ class ServingEngine:
                                 service_seconds=seconds,
                             )
                     push(now + seconds, _DEPART, (handle, batch))
+
+        def target_healthy(target: str) -> bool:
+            """Whether any slice serving ``target`` has capacity alive."""
+            return any(
+                s.pool.ready_count + s.pool.warming_count > 0
+                for s in serving_slices[target]
+            )
+
+        def healthy_route(request: Request, exclude: str | None = None) -> str:
+            """Failure-aware routing: fall back to the least-loaded
+            healthy target when the policy's pick has no capacity left.
+
+            ``exclude`` is the hedging hook — the target already carrying
+            the request's primary copy.  A hedged duplicate goes to the
+            least-loaded *other* healthy target when one exists (the
+            point of hedging is a second, independent path), and only
+            falls back to the primary's target when it is the sole
+            survivor."""
+            if exclude is not None:
+                alive = [
+                    t for t in targets if t != exclude and target_healthy(t)
+                ]
+                if alive:
+                    return min(alive, key=lambda t: (depth_of(t), t))
+            target = policy.route(request, depth_of)
+            if not target_healthy(target):
+                alive = [t for t in targets if target_healthy(t)]
+                if alive:
+                    target = min(alive, key=lambda t: (depth_of(t), t))
+            return target
+
+        def eject_dead_targets() -> int:
+            """Drain queues stranded behind targets with no capacity and
+            re-enqueue their requests onto the least-loaded healthy
+            targets; returns how many requests moved (total outages move
+            nothing — those queues wait for recoveries)."""
+            alive = [t for t in targets if target_healthy(t)]
+            if not alive:
+                return 0
+            moved = 0
+            for target in targets:
+                if target_healthy(target):
+                    continue
+                sched = schedulers[target]
+                if sched.queue_depth == 0:
+                    continue
+                for request in sched.drain():
+                    dest = min(alive, key=lambda t: (depth_of(t), t))
+                    schedulers[dest].enqueue(request)
+                    moved += 1
+            return moved
+
+        def requeue(
+            request: Request, now: float, exclude: str | None = None
+        ) -> None:
+            """Re-enqueue a retried or hedged request.
+
+            Admission was already paid at the original arrival; the
+            request re-routes like a fresh one (healthily, under faults)
+            and re-arms a batching deadline for its new queue position.
+            ``exclude`` steers a hedged duplicate away from the target
+            already carrying the primary copy.
+            """
+            nonlocal depth_total, peak_depth
+            if multi:
+                target = (
+                    healthy_route(request, exclude)
+                    if faulty or exclude is not None
+                    else policy.route(request, depth_of)
+                )
+                schedulers[target].enqueue(request)
+                if hedging:
+                    route_of[request.request_id] = target
+            else:
+                sched0.enqueue(request)
+            depth_total += 1
+            if rec is not None:
+                rec.request_event(
+                    now, SPAN_ENQUEUE, request, queue_depth=depth_total
+                )
+            if depth_total > peak_depth:
+                peak_depth = depth_total
+            if max_wait > 0:
+                push(now + max_wait, _TIMEOUT, None)
+            try_dispatch(now)
+
+        def fail_attempt(request: Request, now: float) -> None:
+            """One service attempt died with its instance: retry or fail."""
+            nonlocal failed, retry_count
+            rid = request.request_id
+            if hedging:
+                if rid in finished_ids:
+                    copies.pop(rid, None)  # late copy of a settled request
+                    return
+                extra = copies.get(rid, 0)
+                if extra > 0:
+                    # A surviving copy (queued or in flight) still carries
+                    # the request; the duplicate absorbs this failure.
+                    copies[rid] = extra - 1
+                    return
+            attempt = attempt_count.get(rid, 0) + 1
+            delay = (
+                retry_policy.next_delay(request, attempt, now)
+                if retry_policy is not None
+                else None
+            )
+            if delay is None:
+                failed += 1
+                attempt_count.pop(rid, None)
+                if hedging:
+                    finished_ids.add(rid)
+                    copies.pop(rid, None)
+                    route_of.pop(rid, None)
+                if rec is not None:
+                    rec.request_event(now, SPAN_FAIL, request, attempts=attempt)
+                if closed_loop is not None:
+                    # The client saw an error; it owes its next request.
+                    spawn_follow_up(now)
+                return
+            attempt_count[rid] = attempt
+            retry_count += 1
+            if rec is not None:
+                rec.request_event(
+                    now, SPAN_RETRY, request,
+                    attempt=attempt, retry_at=now + delay,
+                )
+            push(now + delay, _RETRY, request)
+
+        def crash_instance(
+            handle: tuple[int, int], now: float, repair_seconds: float
+        ) -> None:
+            """Tear one instance down and fail whatever it was serving."""
+            nonlocal crashes
+            crashes += 1
+            state = fleet.crash(handle, now)
+            if rec is not None:
+                rec.fleet_event(
+                    now, FLEET_CRASH, instance=fleet.label(handle), state=state
+                )
+            if state in ("busy", "retiring"):
+                batch = in_flight.pop(handle)
+                # The already-scheduled DEPART for this batch is now
+                # stale; the set tells the depart handler to discard it
+                # (instance ids are never reused, so at most one
+                # outstanding departure can ever match a handle).
+                crashed_handles.add(handle)
+                for request in batch.requests:  # type: ignore[attr-defined]
+                    fail_attempt(request, now)
+            if state != "retiring":
+                # A retiring instance was leaving anyway; everyone else
+                # gets a replacement once the repair completes.
+                push(now + repair_seconds, _RECOVER, handle[0])
+            if multi and eject_dead_targets():
+                try_dispatch(now)
 
         def fleet_state() -> dict[str, object]:
             """What one Sampler row holds (state before the current event).
@@ -616,6 +923,16 @@ class ServingEngine:
             if sampler is not None and now >= sampler.next_time:
                 sampler.record(now, fleet_state())
             if kind == _DEPART:
+                handle, batch = payload  # type: ignore[misc]
+                if faulty:
+                    if handle in crashed_handles:
+                        # The instance died mid-batch: its requests took
+                        # the failure path at crash time, the fleet slot
+                        # was released by the crash itself — this
+                        # departure is stale and must not double-free.
+                        crashed_handles.discard(handle)
+                        continue
+                    del in_flight[handle]
                 # Only departures advance the makespan: stale TIMEOUT (or
                 # autoscale-tick) events outliving the last departure are
                 # no-ops and must not inflate the throughput/utilization
@@ -623,7 +940,6 @@ class ServingEngine:
                 makespan = now
                 busy_at_makespan = busy_integral
                 pool_at_makespan = pool_integral
-                handle, batch = payload  # type: ignore[misc]
                 fleet.release(handle, now)
                 if typed:
                     slices[handle[0]].completed += len(batch.requests)
@@ -635,6 +951,24 @@ class ServingEngine:
                 else:
                     label = handle[1]
                 for request in batch.requests:
+                    if hedging:
+                        rid = request.request_id
+                        if rid in finished_ids:
+                            # The losing hedge copy: the winner already
+                            # recorded this request's latency (or its
+                            # failure); drop the duplicate silently.
+                            hedges_cancelled += 1
+                            copies.pop(rid, None)
+                            if rec is not None:
+                                rec.request_event(
+                                    now, SPAN_HEDGE_CANCELLED, request,
+                                    instance=label,
+                                )
+                            continue
+                        finished_ids.add(rid)
+                    if faulty and attempt_count:
+                        # A previously failed request finally succeeded.
+                        attempt_count.pop(request.request_id, None)
                     latency = now - request.arrival_time
                     sketch = tenant_sketches.get(request.tenant)
                     if sketch is None:
@@ -671,7 +1005,24 @@ class ServingEngine:
                     seen_requests.add(request.request_id)
                     rec.request_event(now, SPAN_ARRIVE, request)
                 if admission is not None:
-                    decision = admission.admit(request.tenant, now, depth_total)
+                    if faulty:
+                        # Graceful degradation: with part of the fleet
+                        # down, tighten the queue budget to the healthy
+                        # fraction of declared capacity — queueing against
+                        # capacity that is not there only deepens the tail.
+                        fraction = counts.provisioned / self.instances
+                        decision = admission.admit(
+                            request.tenant,
+                            now,
+                            depth_total,
+                            capacity_fraction=(
+                                fraction if fraction < 1.0 else 1.0
+                            ),
+                        )
+                    else:
+                        decision = admission.admit(
+                            request.tenant, now, depth_total
+                        )
                     if not decision.admitted:
                         retry_at = now + decision.retry_after_seconds
                         if decision.retry_after_seconds > 0 and retry_at < horizon:
@@ -717,7 +1068,14 @@ class ServingEngine:
                 elif rec is not None:
                     rec.request_event(now, SPAN_ADMIT, request, reason="open")
                 if multi:
-                    schedulers[policy.route(request, depth_of)].enqueue(request)
+                    target = (
+                        healthy_route(request)
+                        if faulty
+                        else policy.route(request, depth_of)
+                    )
+                    schedulers[target].enqueue(request)
+                    if hedging:
+                        route_of[request.request_id] = target
                 else:
                     sched0.enqueue(request)
                 depth_total += 1
@@ -730,13 +1088,18 @@ class ServingEngine:
                     )
                 if depth_total > peak_depth:
                     peak_depth = depth_total
+                if hedging:
+                    # Armed once per request, at its first (admitted)
+                    # enqueue; fires only if still unfinished then.
+                    push(now + hedge_seconds, _HEDGE, request)
                 if max_wait > 0:
                     push(now + max_wait, _TIMEOUT, None)
                 try_dispatch(now)
             elif kind == _TIMEOUT:
                 # The queue head may have exceeded its wait.
                 try_dispatch(now)
-            else:  # _AUTOSCALE: observe the interval, maybe resize the fleet.
+            elif kind == _AUTOSCALE:
+                # Observe the interval, maybe resize the fleet.
                 interval_busy = busy_integral - tick_busy_mark
                 interval_pool = pool_integral - tick_pool_mark
                 tick_busy_mark = busy_integral
@@ -792,6 +1155,79 @@ class ServingEngine:
                 min_pool = min(min_pool, counts.target_size)
                 if events or depth_total > 0 or counts.busy_count > 0:
                     push(now + autoscaler.interval_seconds, _AUTOSCALE, None)
+            elif kind == _FAULT:
+                what, idx = payload  # type: ignore[misc]
+                if what == "crash":
+                    victim = injector.pick_victim(fleet.instance_ids(idx))
+                    if victim is not None:
+                        crash_instance((idx, victim), now, fault_spec.mttr)
+                    gap = injector.next_crash_gap(
+                        slices[idx].pool.provisioned
+                    )
+                    if now + gap < horizon:
+                        push(now + gap, _FAULT, ("crash", idx))
+                elif what == "slow":
+                    slowdowns += 1
+                    slow_until[idx] = now + fault_spec.slow_duration
+                    if rec is not None:
+                        rec.fleet_event(
+                            now,
+                            FLEET_SLOWDOWN,
+                            type=slices[idx].itype.name,
+                            factor=fault_spec.slow_factor,
+                            until=slow_until[idx],
+                        )
+                    gap = injector.next_slowdown_gap()
+                    if now + gap < horizon:
+                        push(now + gap, _FAULT, ("slow", idx))
+                else:  # zone outage: correlated teardown across slices
+                    zone = injector.pick_zone()
+                    zone_outages += 1
+                    victims = [
+                        (s.index, instance)
+                        for s in slices
+                        for instance in s.pool.instance_ids()
+                        if injector.zone_of(instance) == zone
+                    ]
+                    if rec is not None:
+                        rec.fleet_event(
+                            now,
+                            FLEET_ZONE_OUTAGE,
+                            zone=zone,
+                            killed=len(victims),
+                        )
+                    for crash_handle in victims:
+                        crash_instance(crash_handle, now, fault_spec.zone_mttr)
+                    gap = injector.next_zone_gap()
+                    if now + gap < horizon:
+                        push(now + gap, _FAULT, ("zone", -1))
+            elif kind == _RECOVER:
+                recoveries += 1
+                handle, ready_at = fleet.restore(payload, now)  # type: ignore[arg-type]
+                if rec is not None:
+                    rec.fleet_event(
+                        now,
+                        FLEET_RECOVER,
+                        instance=fleet.label(handle),
+                        ready_at=ready_at,
+                    )
+                if ready_at > now:
+                    push(ready_at, _WARMED, handle)
+                else:
+                    try_dispatch(now)
+            elif kind == _RETRY:
+                requeue(payload, now)  # type: ignore[arg-type]
+            else:  # _HEDGE: duplicate a still-unfinished request
+                request = payload  # type: ignore[assignment]
+                primary = route_of.pop(request.request_id, None)
+                if request.request_id not in finished_ids:
+                    hedges_fired += 1
+                    copies[request.request_id] = (
+                        copies.get(request.request_id, 0) + 1
+                    )
+                    if rec is not None:
+                        rec.request_event(now, SPAN_HEDGE_FIRED, request)
+                    requeue(request, now, exclude=primary)
 
         if stats is not None:
             stats.offered = offered
@@ -840,6 +1276,15 @@ class ServingEngine:
             cost_dollars = pool_at_makespan
         registry = self.registry
         if registry is not None:
+            if reliable:
+                # Reliability counters appear only when the machinery was
+                # armed: default-run registry contents stay pinned.
+                registry.counter("requests_failed").inc(failed)
+                registry.counter("requests_retried").inc(retry_count)
+                registry.counter("instances_crashed").inc(crashes)
+                registry.counter("instances_recovered").inc(recoveries)
+                registry.counter("hedges_fired").inc(hedges_fired)
+                registry.counter("hedges_cancelled").inc(hedges_cancelled)
             registry.counter("requests_offered").inc(offered)
             registry.counter("arrival_events").inc(arrived)
             registry.counter("requests_completed").inc(served)
@@ -891,6 +1336,18 @@ class ServingEngine:
             fleet_label=fleet_label,
             cost_dollars=cost_dollars,
             per_type=per_type,
+            faults_label=fault_spec.render() if faulty else "",
+            retry_label=(
+                retry_policy.mode if retry_policy is not None else "none"
+            ),
+            failed=failed,
+            retries=retry_count,
+            crashes=crashes,
+            recoveries=recoveries,
+            slowdowns=slowdowns,
+            zone_outages=zone_outages,
+            hedges_fired=hedges_fired,
+            hedges_cancelled=hedges_cancelled,
         )
 
     def _report(
@@ -913,6 +1370,16 @@ class ServingEngine:
         fleet_label: str = "",
         cost_dollars: float = 0.0,
         per_type: tuple[TypeUsage, ...] = (),
+        faults_label: str = "",
+        retry_label: str = "none",
+        failed: int = 0,
+        retries: int = 0,
+        crashes: int = 0,
+        recoveries: int = 0,
+        slowdowns: int = 0,
+        zone_outages: int = 0,
+        hedges_fired: int = 0,
+        hedges_cancelled: int = 0,
     ) -> ServingReport:
         window = makespan if makespan > 0 else 1.0
         tenants: dict[str, TenantReport] = {}
@@ -953,4 +1420,17 @@ class ServingEngine:
             routing=self.routing,
             cost_dollars=cost_dollars,
             per_type=per_type,
+            faults=faults_label,
+            retry=retry_label,
+            failed=failed,
+            retries=retries,
+            crashes=crashes,
+            recoveries=recoveries,
+            slowdowns=slowdowns,
+            zone_outages=zone_outages,
+            hedges_fired=hedges_fired,
+            hedges_cancelled=hedges_cancelled,
+            availability=(
+                served / (served + failed) if served + failed > 0 else 1.0
+            ),
         )

@@ -348,6 +348,54 @@ class ReplicaPool:
         return True
 
     # ------------------------------------------------------------------
+    # Faults
+    # ------------------------------------------------------------------
+    def instance_ids(self) -> tuple[int, ...]:
+        """Every provisioned instance id (free + busy + warming), sorted.
+
+        The fault injector picks crash victims from this view; sorting
+        keeps victim selection deterministic under a fixed seed.
+        """
+        return tuple(sorted([*self._free, *self._busy, *self._warming]))
+
+    def kill(self, instance: int) -> str:
+        """Tear ``instance`` down regardless of state (fault injection).
+
+        Returns the state it was in (``"warming"`` / ``"free"`` /
+        ``"busy"`` / ``"retiring"``) so the caller can clean up whatever
+        that state implied — a busy victim has an in-flight batch to
+        fail, a warming one only loses its pending warm-up event.
+        """
+        if instance in self._warming:
+            del self._warming[instance]
+            return "warming"
+        if instance in self._busy:
+            self._busy.discard(instance)
+            if instance in self._retiring:
+                self._retiring.discard(instance)
+                return "retiring"
+            return "busy"
+        self._free.remove(instance)
+        heapq.heapify(self._free)
+        return "free"
+
+    def provision(self, now: float) -> tuple[int, float]:
+        """Provision one fresh instance (fault recovery).
+
+        Returns ``(instance, ready_time)`` exactly like one entry of
+        :meth:`scale_to`'s result: the replacement pays the normal
+        warm-up before it can serve.
+        """
+        instance = self._next_id
+        self._next_id += 1
+        if self.warmup_seconds > 0:
+            ready_at = now + self.warmup_seconds
+            self._warming[instance] = ready_at
+            return (instance, ready_at)
+        heapq.heappush(self._free, instance)
+        return (instance, now)
+
+    # ------------------------------------------------------------------
     # Scaling
     # ------------------------------------------------------------------
     def scale_to(self, target: int, now: float) -> list[tuple[int, float]]:
@@ -564,6 +612,46 @@ class TypedReplicaPool:
         slice_ = self.slices[index]
         slice_.accrue(now)
         return slice_.pool.warmed(instance)
+
+    # ------------------------------------------------------------------
+    # Faults
+    # ------------------------------------------------------------------
+    def instance_ids(self, index: int) -> tuple[int, ...]:
+        """Provisioned instance ids of slice ``index`` (victim pool)."""
+        return self.slices[index].pool.instance_ids()
+
+    def crash(self, handle: tuple[int, int], now: float) -> str:
+        """Tear down a crashed instance; returns its prior state.
+
+        Billing invariant: the slice accrues up to ``now`` *before* the
+        kill, so a busy victim's partial busy-seconds land in its type's
+        integrals and the cached ``_busy`` aggregate never goes negative
+        — the crash is billed exactly like a departure that happened at
+        the crash instant.
+        """
+        index, instance = handle
+        slice_ = self.slices[index]
+        slice_.accrue(now)
+        state = slice_.pool.kill(instance)
+        self._provisioned -= 1
+        if state in ("busy", "retiring"):
+            self._busy -= 1
+        slice_.minimum = min(slice_.minimum, slice_.pool.target_size)
+        return state
+
+    def restore(self, index: int, now: float) -> tuple[tuple[int, int], float]:
+        """Provision one replacement instance in slice ``index``.
+
+        Returns ``(handle, ready_time)``; the replacement pays the
+        slice's normal warm-up, so recovery is never instantaneous
+        unless provisioning itself is.
+        """
+        slice_ = self.slices[index]
+        slice_.accrue(now)
+        instance, ready_at = slice_.pool.provision(now)
+        self._provisioned += 1
+        slice_.peak = max(slice_.peak, slice_.pool.provisioned)
+        return ((index, instance), ready_at)
 
     def label(self, handle: tuple[int, int]) -> int | str:
         """Trace-friendly instance name.

@@ -149,6 +149,36 @@ def _build_presets() -> dict[str, CampaignSpec]:
                 "p99 against $-cost"
             ),
         ),
+        "reliability": CampaignSpec(
+            name="reliability",
+            base=ServingScenario(
+                dataset="ppi",
+                scale=0.05,
+                qps=100.0,
+                duration_seconds=2.0,
+                num_tenants=2,
+                max_batch=8,
+                instances=4,
+                fleet="small:2,default:2",
+                routing="size_affinity",
+                slo_seconds=0.1,
+                faults=(
+                    "mtbf=0.5,mttr=0.08,slow_mtbf=0.6,slow_factor=4.0,"
+                    "slow_duration=0.2,zones=2,zone_mtbf=3.0,zone_mttr=0.12"
+                ),
+                seed=0,
+            ),
+            axes=(
+                ("retry", ("none", "backoff", "deadline")),
+                ("hedge_seconds", (0.0, 0.04)),
+            ),
+            description=(
+                "fault-survival study: crashes, slowdowns, and zone "
+                "outages against retry policy x hedged dispatch — how "
+                "much fault-free SLO attainment each stance recovers "
+                "(6 scenarios)"
+            ),
+        ),
     }
 
 

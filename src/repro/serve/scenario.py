@@ -30,7 +30,9 @@ from repro.serve.arrivals import (
 )
 from repro.serve.autoscale import AUTOSCALERS, AutoscalerPolicy, make_autoscaler
 from repro.serve.engine import ServingEngine, ServingReport
+from repro.serve.faults import FaultSpec
 from repro.serve.fleet import FleetSpec
+from repro.serve.retry import RETRY_POLICIES, make_retry_policy
 from repro.serve.routing import ROUTING_POLICIES
 from repro.serve.scheduler import POLICIES, BatchingScheduler
 from repro.serve.service import AcceleratorServiceModel, ServiceModel
@@ -44,7 +46,10 @@ from repro.utils.hashing import stable_digest
 #: analytics (new scenario knobs + burn fields on the record).
 #: v4: heterogeneous fleets — typed instances, routing policies, $-cost
 #: accounting (``fleet``/``routing`` knobs; records gain cost fields).
-SERVE_SCHEMA_VERSION = 4
+#: v5: reliability — fault injection, retries, hedged dispatch
+#: (``faults``/``retry``/``hedge_seconds`` knobs; records gain
+#: failure/availability fields).
+SERVE_SCHEMA_VERSION = 5
 
 
 @dataclass(frozen=True)
@@ -99,6 +104,20 @@ class ServingScenario:
             to violate) the burn-rate analytics measure against.
         burn_window_seconds: burn-rate window width; ``0`` picks an
             eighth of the run horizon automatically.
+        faults: fault-injection spec in the CLI string form
+            (``"mtbf=0.4,mttr=0.1"``, or the named preset ``default``);
+            empty disables fault injection entirely (the bit-identical
+            compatibility path).
+        retry: retry policy for failed requests — ``none`` (failures are
+            final), ``backoff``, or ``deadline``
+            (:data:`~repro.serve.retry.RETRY_POLICIES`).
+        retry_max_attempts: total service attempts allowed per request.
+        retry_base_seconds: first retry delay (doubles per attempt,
+            scaled by deterministic jitter).
+        retry_deadline_seconds: per-request give-up budget from arrival
+            (``deadline`` mode only).
+        hedge_seconds: duplicate a still-unfinished request onto a second
+            queue after this long (``0`` disables hedging).
         label: display name; auto-derived when empty.
     """
 
@@ -132,6 +151,12 @@ class ServingScenario:
     metrics_backend: str = "exact"
     violation_budget: float = 0.01
     burn_window_seconds: float = 0.0
+    faults: str = ""
+    retry: str = "none"
+    retry_max_attempts: int = 3
+    retry_base_seconds: float = 0.005
+    retry_deadline_seconds: float = 0.25
+    hedge_seconds: float = 0.0
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -219,6 +244,27 @@ class ServingScenario:
             )
         if self.burn_window_seconds < 0:
             raise ValueError("burn_window_seconds must be non-negative")
+        if self.faults:
+            # Normalize to the canonical string form (named presets
+            # expand, defaulted fields drop) so labels and content
+            # hashes agree for equivalent specs.
+            spec = FaultSpec.parse(self.faults)
+            object.__setattr__(
+                self, "faults", spec.render() if spec.enabled else ""
+            )
+        if self.retry not in RETRY_POLICIES:
+            raise ValueError(
+                f"unknown retry mode {self.retry!r}; "
+                f"choose from {RETRY_POLICIES}"
+            )
+        if self.retry_max_attempts < 1:
+            raise ValueError("retry_max_attempts must be >= 1")
+        if self.retry_base_seconds <= 0:
+            raise ValueError("retry_base_seconds must be positive")
+        if self.retry_deadline_seconds <= 0:
+            raise ValueError("retry_deadline_seconds must be positive")
+        if self.hedge_seconds < 0:
+            raise ValueError("hedge_seconds must be non-negative")
 
     @property
     def display_label(self) -> str:
@@ -244,6 +290,12 @@ class ServingScenario:
             parts.append(f"as-{self.autoscaler}@{self.autoscale_target:g}")
         if self.admission != "none":
             parts.append(self.admission)
+        if self.faults:
+            parts.append("faulted")
+        if self.retry != "none":
+            parts.append(f"retry-{self.retry}")
+        if self.hedge_seconds > 0:
+            parts.append(f"hedge{self.hedge_seconds * 1e3:g}ms")
         parts.append(f"s{self.seed}")
         return "-".join(parts)
 
@@ -350,6 +402,16 @@ class ServingScenario:
             fleet=self.fleet or None,
             routing=self.routing,
             routing_seed=self.seed,
+            faults=self.faults or None,
+            retry=make_retry_policy(
+                self.retry,
+                max_attempts=self.retry_max_attempts,
+                base_seconds=self.retry_base_seconds,
+                deadline_seconds=self.retry_deadline_seconds,
+                seed=self.seed,
+            ),
+            hedge_seconds=self.hedge_seconds,
+            fault_seed=self.seed,
         )
 
 
@@ -395,6 +457,12 @@ class ServingRecord:
     fleet: str = ""
     routing: str = "shared_queue"
     cost_dollars: float = 0.0
+    failed: int = 0
+    retries: int = 0
+    crashes: int = 0
+    hedges_fired: int = 0
+    hedges_cancelled: int = 0
+    availability: float = 1.0
     cached: bool = False
 
     def metrics(self) -> dict[str, float]:
@@ -423,6 +491,12 @@ class ServingRecord:
             "overall_burn_rate": self.overall_burn_rate,
             "peak_burn_rate": self.peak_burn_rate,
             "cost_dollars": self.cost_dollars,
+            "failed": self.failed,
+            "retries": self.retries,
+            "crashes": self.crashes,
+            "hedges_fired": self.hedges_fired,
+            "hedges_cancelled": self.hedges_cancelled,
+            "availability": self.availability,
         }
 
     def to_dict(self) -> dict[str, Any]:
@@ -495,6 +569,12 @@ class ServingRecord:
             fleet=report.fleet,
             routing=report.routing,
             cost_dollars=report.cost_dollars,
+            failed=report.failed,
+            retries=report.retries,
+            crashes=report.crashes,
+            hedges_fired=report.hedges_fired,
+            hedges_cancelled=report.hedges_cancelled,
+            availability=report.availability,
         )
 
 

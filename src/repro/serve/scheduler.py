@@ -157,6 +157,25 @@ class BatchingScheduler:
         self._depth -= take
         return Batch(requests=tuple(chosen), formed_time=now)
 
+    def drain(self) -> tuple[Request, ...]:
+        """Remove and return everything queued, in pop order.
+
+        Failure-aware routing uses this when a target loses its last
+        serving instance: the dead target's queue is drained and its
+        requests re-enqueued onto healthy targets instead of waiting on
+        capacity that no longer exists.  The scheduler itself is left
+        empty but keeps its fairness state, so a revived target resumes
+        with no banked credit or debt.
+        """
+        drained: list[Request] = []
+        while self._depth > 0:
+            if self.policy == "fifo":
+                drained.append(self._fifo.popleft())
+            else:
+                drained.append(self._pop_fair())
+            self._depth -= 1
+        return tuple(drained)
+
     def spawn(self) -> "BatchingScheduler":
         """A fresh, empty scheduler with this one's configuration.
 

@@ -181,7 +181,7 @@ class TestRunner:
         assert tuple(EXPERIMENTS) == ALL_EXPERIMENTS
         assert set(ALL_EXPERIMENTS) == {
             "table1", "table2", "fig3", "fig5", "fig6", "fig7", "fig8",
-            "fig9", "fig10", "fig11",
+            "fig9", "fig10", "fig11", "fig12",
         }
         assert all(callable(fn) for fn in EXPERIMENTS.values())
 

@@ -14,6 +14,7 @@ from repro.obs import (
     SPAN_ADMIT,
     SPAN_ARRIVE,
     SPAN_DEPART,
+    SPAN_FAIL,
     SPAN_SHED,
     TERMINAL_SPANS,
     FLEET_SCALE,
@@ -160,4 +161,4 @@ class TestExport:
         }
 
     def test_terminal_span_kinds(self):
-        assert set(TERMINAL_SPANS) == {SPAN_DEPART, SPAN_SHED}
+        assert set(TERMINAL_SPANS) == {SPAN_DEPART, SPAN_SHED, SPAN_FAIL}

@@ -137,6 +137,34 @@ def test_closed_loop_is_bit_identical() -> None:
     assert report.cost_dollars == report.instance_seconds
 
 
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_inert_reliability_machinery_is_bit_identical(name: str) -> None:
+    """A retry policy that never fires (no faults -> no failures) must
+    leave the simulation untouched: every metric matches the pre-fault
+    baseline exactly, and the render differs only by the one line that
+    discloses the armed (but idle) policy."""
+    expected = BASELINE[name]
+    scenario = ServingScenario(
+        **SCENARIOS[name], retry="backoff", faults="", hedge_seconds=0.0
+    )
+    report = simulate_serving_scenario(scenario)
+    record = ServingRecord.from_report(
+        scenario, report, key="-", eval_seconds=0.0
+    )
+    metrics = record.metrics()
+    for key, value in expected["metrics"].items():
+        assert metrics[key] == value, f"{name}: metric {key} drifted"
+    assert metrics["failed"] == 0
+    assert metrics["retries"] == 0
+    assert metrics["availability"] == 1.0
+    stripped = "\n".join(
+        line
+        for line in report.render().splitlines()
+        if not line.startswith("reliability [")
+    )
+    assert stripped == expected["render"]
+
+
 def test_schema_v3_records_revive_with_v4_defaults() -> None:
     """Cached payloads written before the fleet fields existed must still
     load: the v4 keys fall back to their compatibility defaults."""
@@ -157,3 +185,29 @@ def test_schema_v3_records_revive_with_v4_defaults() -> None:
     assert revived.metrics() | {"cost_dollars": record.cost_dollars} == (
         record.metrics()
     )
+
+
+def test_schema_v4_records_revive_with_v5_defaults() -> None:
+    """Cached payloads written before the reliability fields existed must
+    still load: the v5 keys fall back to their fault-free defaults."""
+    scenario = ServingScenario(**SCENARIOS["open-fifo"])
+    report = simulate_serving_scenario(scenario)
+    record = ServingRecord.from_report(
+        scenario, report, key="-", eval_seconds=0.0
+    )
+    payload = json.loads(json.dumps(record.to_dict()))
+    v5_keys = (
+        "failed", "retries", "crashes", "hedges_fired",
+        "hedges_cancelled", "availability",
+    )
+    for key in v5_keys:
+        del payload[key]
+    revived = ServingRecord.from_dict(payload, cached=True)
+    assert revived.failed == 0
+    assert revived.retries == 0
+    assert revived.crashes == 0
+    assert revived.hedges_fired == 0
+    assert revived.hedges_cancelled == 0
+    assert revived.availability == 1.0
+    assert revived.cached
+    assert revived.metrics() == record.metrics()

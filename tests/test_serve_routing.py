@@ -193,6 +193,31 @@ class TestRoutedServing:
         assert small.completed <= 4 * small.batches
         assert usage["large"].completed > 0
 
+    @pytest.mark.parametrize(
+        "faults",
+        [
+            "default",
+            "mtbf=0.2,mttr=0.05",
+            "zones=2,zone_mtbf=0.3,zone_mttr=0.1",
+        ],
+    )
+    def test_crash_paths_keep_utilization_in_bounds(self, faults):
+        from repro.serve.scenario import simulate_serving_scenario
+
+        report = simulate_serving_scenario(
+            self.scenario(routing="size_affinity", qps=200.0, faults=faults)
+        )
+        # Crash teardown accrues the interrupted instance's partial busy
+        # time and shrinks the cached aggregates in lockstep; a double
+        # bill or a negative cached busy count shows up here as
+        # utilization outside [0, 1] (per slice too).
+        assert report.crashes > 0
+        assert 0.0 <= report.utilization <= 1.0
+        for usage in report.per_type:
+            assert usage.busy_seconds >= 0.0
+            assert usage.instance_seconds >= 0.0
+            assert usage.busy_seconds <= usage.instance_seconds + 1e-9
+
     def test_tenant_pin_keeps_each_tenant_on_one_type(self):
         from repro.serve.scenario import simulate_serving_scenario
 

@@ -256,3 +256,103 @@ class TestAdaptiveMsFormatting:
     def test_regular_latencies_keep_fixed_precision(self, traced_run):
         report, _, _, _ = traced_run
         assert "SLO 50.00 ms" in report.render()
+
+
+FAULTED_SCENARIO = ServingScenario(
+    qps=150.0,
+    duration_seconds=2.0,
+    instances=4,
+    fleet="small:2,default:2",
+    routing="size_affinity",
+    slo_seconds=0.1,
+    faults="default",
+    retry="backoff",
+    hedge_seconds=0.04,
+    seed=0,
+)
+
+
+@pytest.fixture(scope="module")
+def faulted_run():
+    recorder = MemoryTraceRecorder(sample="all")
+    registry = MetricRegistry()
+    report = simulate_serving_scenario(
+        FAULTED_SCENARIO, recorder=recorder, registry=registry
+    )
+    return report, recorder, registry
+
+
+class TestFaultedTelemetry:
+    """Satellite: the reliability spans round-trip and stay consistent.
+
+    A faulted run with retries and hedging is the stress case for the
+    terminal-span invariant: a request may fail, retry, hedge, and race
+    two copies -- but it must still settle exactly once.
+    """
+
+    def test_run_actually_exercises_the_reliability_paths(self, faulted_run):
+        report, _, _ = faulted_run
+        assert report.crashes > 0
+        assert report.retries > 0
+        assert report.hedges_fired > 0
+
+    def test_every_request_settles_exactly_once_under_retries(
+        self, faulted_run
+    ):
+        from repro.obs import TERMINAL_SPANS
+
+        _, recorder, _ = faulted_run
+        for request_id in recorder.request_ids():
+            terminal = [
+                s for s in recorder.spans_for(request_id)
+                if s["kind"] in TERMINAL_SPANS
+            ]
+            assert len(terminal) == 1, (
+                f"request {request_id} settled {len(terminal)} times"
+            )
+
+    def test_reliability_span_counts_match_the_report(self, faulted_run):
+        from repro.obs import (
+            SPAN_FAIL,
+            SPAN_HEDGE_CANCELLED,
+            SPAN_HEDGE_FIRED,
+            SPAN_RETRY,
+        )
+
+        report, recorder, _ = faulted_run
+        kinds = [s["kind"] for s in recorder.spans()]
+        assert kinds.count(SPAN_FAIL) == report.failed
+        assert kinds.count(SPAN_RETRY) == report.retries
+        assert kinds.count(SPAN_HEDGE_FIRED) == report.hedges_fired
+        assert kinds.count(SPAN_HEDGE_CANCELLED) == report.hedges_cancelled
+        assert kinds.count(SPAN_DEPART) == report.completed
+
+    def test_fleet_spans_tell_the_crash_story(self, faulted_run):
+        from repro.obs import FLEET_CRASH, FLEET_RECOVER
+
+        report, recorder, _ = faulted_run
+        kinds = [s["kind"] for s in recorder.spans()]
+        assert kinds.count(FLEET_CRASH) == report.crashes
+        assert kinds.count(FLEET_RECOVER) == report.recoveries
+
+    def test_registry_carries_the_reliability_counters(self, faulted_run):
+        report, _, registry = faulted_run
+        value = {m.name: m for m in registry}
+        assert value["requests_failed"].value == report.failed
+        assert value["requests_retried"].value == report.retries
+        assert value["instances_crashed"].value == report.crashes
+        assert value["instances_recovered"].value == report.recoveries
+        assert value["hedges_fired"].value == report.hedges_fired
+        assert value["hedges_cancelled"].value == report.hedges_cancelled
+
+    def test_killed_instances_rendered_in_the_report(self, faulted_run):
+        report, _, _ = faulted_run
+        text = report.render()
+        assert f"killed {report.crashes} instance(s)" in text
+        assert "availability" in text
+
+    def test_default_registry_has_no_reliability_counters(self, traced_run):
+        _, _, registry, _ = traced_run
+        names = {m.name for m in registry}
+        assert "requests_failed" not in names
+        assert "hedges_fired" not in names
